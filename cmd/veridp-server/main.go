@@ -1,0 +1,129 @@
+// Command veridp-server is the standalone VeriDP verification server of
+// Figure 4: it splices the OpenFlow channel between switches and the
+// controller (rebuilding its path table from intercepted FlowMods) and
+// collects tag reports over UDP, printing a verdict for each.
+//
+//	veridp-server -topo figure5 -listen :6653 -controller 127.0.0.1:6654 -reports :48879
+//
+// Switches dial -listen instead of the controller; the server forwards
+// everything upstream unchanged. See examples/liveproxy for a complete
+// in-process deployment wired over real sockets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"veridp"
+	"veridp/internal/bloom"
+	"veridp/internal/flowtable"
+	"veridp/internal/openflow"
+	"veridp/internal/packet"
+	"veridp/internal/report"
+	"veridp/internal/topo"
+)
+
+var (
+	topoName    = flag.String("topo", "figure5", "topology: fattree4|fattree6|stanford|internet2|figure5|linear")
+	listenAddr  = flag.String("listen", ":6653", "address switches dial (OpenFlow proxy)")
+	ctrlAddr    = flag.String("controller", "127.0.0.1:6654", "upstream controller address")
+	reportAddr  = flag.String("reports", fmt.Sprintf(":%d", packet.ReportPort), "UDP address for tag reports")
+	metricsAddr = flag.String("metrics", "", "HTTP address for Prometheus metrics (empty disables)")
+	mbits       = flag.Int("mbits", 16, "Bloom tag size in bits")
+)
+
+func buildTopo(name string) (*topo.Network, error) {
+	switch name {
+	case "fattree4":
+		return topo.FatTree(4), nil
+	case "fattree6":
+		return topo.FatTree(6), nil
+	case "stanford":
+		return topo.Stanford(3), nil
+	case "internet2":
+		return topo.Internet2(2), nil
+	case "figure5":
+		return topo.Figure5(), nil
+	case "linear":
+		return topo.Linear(3, 1), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func main() {
+	flag.Parse()
+	logger := log.New(os.Stderr, "veridp-server: ", log.LstdFlags)
+	if err := run(logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+func run(logger *log.Logger) error {
+	params := bloom.Params{MBits: *mbits}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	net_, err := buildTopo(*topoName)
+	if err != nil {
+		return err
+	}
+
+	// The server's own logical view starts empty and fills from the
+	// intercepted FlowMods.
+	logical := make(map[topo.SwitchID]*flowtable.SwitchConfig, net_.NumSwitches())
+	for _, sw := range net_.Switches() {
+		logical[sw.ID] = flowtable.NewSwitchConfig(sw.Ports())
+	}
+	mon := veridp.NewMonitor(net_, logical, veridp.MonitorConfig{
+		Params: params,
+		OnViolation: func(v veridp.Violation) {
+			sw := "unlocalized"
+			if v.Localized {
+				sw = fmt.Sprintf("switch %s", net_.Switch(v.FaultySwitch).Name)
+			}
+			fmt.Printf("VIOLATION %-22s %v → %s\n", v.Reason, v.Report, sw)
+		},
+		OnVerified: func(r *veridp.Report) {
+			fmt.Printf("ok        %v\n", r)
+		},
+	})
+
+	// Tag-report collector.
+	collector, err := report.NewCollector(*reportAddr, mon.HandleReport, logger)
+	if err != nil {
+		return err
+	}
+	defer collector.Close()
+	go func() {
+		if err := collector.Run(); err != nil {
+			logger.Printf("collector stopped: %v", err)
+		}
+	}()
+	logger.Printf("collecting tag reports on %v", collector.Addr())
+
+	// Metrics endpoint.
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", mon)
+		go func() {
+			logger.Printf("serving metrics on %s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				logger.Printf("metrics server stopped: %v", err)
+			}
+		}()
+	}
+
+	// OpenFlow interception proxy.
+	proxy := openflow.NewProxy(*ctrlAddr, mon.ProxyHooks(logical), logger)
+	l, err := net.Listen("tcp", *listenAddr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("proxying OpenFlow on %v → controller %s", l.Addr(), *ctrlAddr)
+	return proxy.Serve(l)
+}

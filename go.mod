@@ -1,0 +1,3 @@
+module veridp
+
+go 1.22

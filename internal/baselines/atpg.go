@@ -1,0 +1,159 @@
+// Package baselines implements simplified versions of the two data-plane
+// testing tools the paper positions VeriDP against (§1, §3.1, §7):
+//
+//   - ATPG (Zeng et al., CoNEXT'12): generate a minimal set of end-to-end
+//     probe packets that collectively exercise every rule, and check only
+//     whether each probe is received. Reception-only checking cannot see
+//     path deviations that still deliver the packet — the limitation §3.1
+//     illustrates and our comparison tests demonstrate.
+//
+//   - Monocle (Kuźniar et al., CoNEXT'15): per-rule probe generation — craft
+//     a packet that can only trigger the rule under test and observe which
+//     port emits it. Exact but slow to generate (tens of seconds for 10K
+//     rules in the paper), so it cannot track frequent updates; the probe
+//     generation benchmarks reproduce that scaling argument.
+package baselines
+
+import (
+	"veridp/internal/core"
+	"veridp/internal/dataplane"
+	"veridp/internal/header"
+	"veridp/internal/topo"
+)
+
+// Probe is one ATPG end-to-end test packet.
+type Probe struct {
+	Inport topo.PortKey
+	Header header.Header
+	// ExpectDelivery and ExpectExit describe the control plane's intent.
+	ExpectDelivery bool
+	ExpectExit     topo.PortKey
+	// Covers lists the (switch, rule) pairs the probe exercises.
+	Covers []RuleRef
+}
+
+// RuleRef names one rule on one switch.
+type RuleRef struct {
+	Switch topo.SwitchID
+	RuleID uint64
+}
+
+// GenerateATPGProbes computes a probe set covering every coverable rule:
+// one candidate probe per path-table entry (each entry is one forwarding
+// equivalence class end-to-end), then a greedy set cover to minimize the
+// probe count, as ATPG's Min-Set-Cover step does.
+func GenerateATPGProbes(pt *core.PathTable) []Probe {
+	var candidates []Probe
+	pt.Entries(func(in, out topo.PortKey, e *core.PathEntry) {
+		if !pt.Net.IsEdgePort(in) {
+			return
+		}
+		h, ok := pt.Space.Witness(e.Headers)
+		if !ok {
+			return
+		}
+		p := Probe{
+			Inport:         in,
+			Header:         h,
+			ExpectDelivery: pt.Net.IsEdgePort(out),
+			ExpectExit:     out,
+			Covers:         rulesOnPath(pt, in, h),
+		}
+		candidates = append(candidates, p)
+	})
+
+	// Greedy set cover over rule references.
+	uncovered := map[RuleRef]bool{}
+	for _, c := range candidates {
+		for _, r := range c.Covers {
+			uncovered[r] = true
+		}
+	}
+	var picked []Probe
+	for len(uncovered) > 0 {
+		bestIdx, bestGain := -1, 0
+		for i, c := range candidates {
+			gain := 0
+			for _, r := range c.Covers {
+				if uncovered[r] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestIdx, bestGain = i, gain
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		for _, r := range candidates[bestIdx].Covers {
+			delete(uncovered, r)
+		}
+		picked = append(picked, candidates[bestIdx])
+		candidates = append(candidates[:bestIdx], candidates[bestIdx+1:]...)
+	}
+	return picked
+}
+
+// rulesOnPath walks the logical configuration and records which rule each
+// hop's lookup hits.
+func rulesOnPath(pt *core.PathTable, at topo.PortKey, h header.Header) []RuleRef {
+	var out []RuleRef
+	cur := at
+	for budget := pt.Net.MaxPathLength(); budget > 0; budget-- {
+		cfg, ok := pt.Configs[cur.Switch]
+		if !ok {
+			return out
+		}
+		r := cfg.Table.Lookup(cur.Port, h)
+		if r != nil {
+			out = append(out, RuleRef{Switch: cur.Switch, RuleID: r.ID})
+		}
+		y := cfg.Classify(cur.Port, h)
+		outKey := topo.PortKey{Switch: cur.Switch, Port: y}
+		if y == topo.DropPort || pt.Net.IsEdgePort(outKey) {
+			return out
+		}
+		next, ok := pt.Net.Peer(outKey)
+		if !ok {
+			return out
+		}
+		cur = next
+	}
+	return out
+}
+
+// ATPGResult summarizes one probe run.
+type ATPGResult struct {
+	Probes   int
+	Passed   int
+	Failed   int
+	Failures []Probe
+}
+
+// RunATPG injects every probe and checks reception only: delivered probes
+// pass if delivery was expected — regardless of the path taken, which is
+// exactly ATPG's blind spot.
+func RunATPG(f *dataplane.Fabric, probes []Probe) (ATPGResult, error) {
+	var res ATPGResult
+	res.Probes = len(probes)
+	for _, p := range probes {
+		r, err := f.Inject(p.Inport, p.Header)
+		if err != nil {
+			return res, err
+		}
+		delivered := r.Outcome == dataplane.OutcomeDelivered
+		ok := delivered == p.ExpectDelivery
+		if ok && delivered {
+			// ATPG checks *which host* received the probe.
+			ok = r.Exit == p.ExpectExit
+		}
+		if ok {
+			res.Passed++
+		} else {
+			res.Failed++
+			res.Failures = append(res.Failures, p)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,525 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs),
+// the header-set representation used throughout VeriDP.
+//
+// The paper (§4.1) argues that wildcard expressions are too inefficient for
+// representing arbitrary header sets — characterizing the Stanford backbone
+// needs 652 million wildcard expressions — and adopts BDDs instead, following
+// Yang & Lam's atomic-predicate work. This package is a from-scratch ROBDD
+// engine with hash-consed nodes, an ITE-based apply with memoization, and the
+// set operations VeriDP's path-table construction requires: conjunction,
+// disjunction, complement, difference, emptiness, and satisfying-assignment
+// enumeration (for synthesizing witness packets).
+//
+// Nodes live in a Table (a manager). A Ref is an index into the table's node
+// array; the constants False and True are the terminal nodes. Refs from
+// different Tables must not be mixed; Table methods panic if handed an
+// out-of-range Ref.
+//
+// The variable order is fixed at Table creation: variable 0 is the root-most
+// level. Callers lay out header fields across variables (see package header).
+package bdd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ref identifies a BDD node within its Table. The zero value is False, so an
+// uninitialized Ref denotes the empty set.
+type Ref int32
+
+// Terminal nodes, shared by every Table.
+const (
+	False Ref = 0 // the constant-false BDD (empty header set)
+	True  Ref = 1 // the constant-true BDD (all-match header set)
+)
+
+// node is one decision node: if variable "level" is 0 follow lo, else hi.
+// Terminals use level = terminalLevel so they sort below every variable.
+type node struct {
+	level int32
+	lo    Ref
+	hi    Ref
+}
+
+const terminalLevel = int32(1<<30 - 1)
+
+// opcode distinguishes cached binary operations.
+type opcode uint8
+
+const (
+	opAnd opcode = iota
+	opOr
+	opXor
+)
+
+// opKey is the memoization key for binary apply operations.
+type opKey struct {
+	op   opcode
+	a, b Ref
+}
+
+// uniqueKey identifies a (level, lo, hi) triple for hash-consing.
+type uniqueKey struct {
+	level int32
+	lo    Ref
+	hi    Ref
+}
+
+// Table is a BDD manager: it owns the node storage, the hash-cons table that
+// guarantees canonicity, and the operation caches. A Table is not safe for
+// concurrent use; VeriDP gives each verification server its own Table and
+// serializes updates through it.
+type Table struct {
+	nodes    []node
+	unique   map[uniqueKey]Ref
+	opCache  map[opKey]Ref
+	notCache map[Ref]Ref
+	numVars  int
+}
+
+// New returns a Table over numVars Boolean variables (levels 0..numVars-1).
+func New(numVars int) *Table {
+	if numVars <= 0 || numVars >= int(terminalLevel) {
+		panic(fmt.Sprintf("bdd: invalid variable count %d", numVars))
+	}
+	t := &Table{
+		nodes:    make([]node, 2, 1024),
+		unique:   make(map[uniqueKey]Ref, 1024),
+		opCache:  make(map[opKey]Ref, 1024),
+		notCache: make(map[Ref]Ref, 256),
+		numVars:  numVars,
+	}
+	t.nodes[False] = node{level: terminalLevel}
+	t.nodes[True] = node{level: terminalLevel}
+	return t
+}
+
+// NumVars reports the number of Boolean variables the table was created with.
+func (t *Table) NumVars() int { return t.numVars }
+
+// Size reports the total number of nodes allocated in the table, including
+// the two terminals. It only ever grows: this engine does not garbage-collect
+// dead nodes, which is acceptable for VeriDP because path tables are built in
+// bulk and incremental updates touch a small frontier (§4.4).
+func (t *Table) Size() int { return len(t.nodes) }
+
+// check panics if r does not belong to this table.
+func (t *Table) check(r Ref) {
+	if r < 0 || int(r) >= len(t.nodes) {
+		panic(fmt.Sprintf("bdd: ref %d out of range (table size %d)", r, len(t.nodes)))
+	}
+}
+
+// mk returns the canonical node (level, lo, hi), applying the ROBDD reduction
+// rules: redundant tests collapse, and structurally equal nodes are shared.
+func (t *Table) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	key := uniqueKey{level, lo, hi}
+	if r, ok := t.unique[key]; ok {
+		return r
+	}
+	r := Ref(len(t.nodes))
+	t.nodes = append(t.nodes, node{level: level, lo: lo, hi: hi})
+	t.unique[key] = r
+	return r
+}
+
+// Var returns the BDD for "variable v is 1".
+func (t *Table) Var(v int) Ref {
+	if v < 0 || v >= t.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, t.numVars))
+	}
+	return t.mk(int32(v), False, True)
+}
+
+// NVar returns the BDD for "variable v is 0".
+func (t *Table) NVar(v int) Ref {
+	if v < 0 || v >= t.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, t.numVars))
+	}
+	return t.mk(int32(v), True, False)
+}
+
+// Not returns the complement of a.
+func (t *Table) Not(a Ref) Ref {
+	t.check(a)
+	switch a {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	if r, ok := t.notCache[a]; ok {
+		return r
+	}
+	n := t.nodes[a]
+	r := t.mk(n.level, t.Not(n.lo), t.Not(n.hi))
+	t.notCache[a] = r
+	return r
+}
+
+// And returns the conjunction (set intersection) of a and b.
+func (t *Table) And(a, b Ref) Ref {
+	t.check(a)
+	t.check(b)
+	return t.apply(opAnd, a, b)
+}
+
+// Or returns the disjunction (set union) of a and b.
+func (t *Table) Or(a, b Ref) Ref {
+	t.check(a)
+	t.check(b)
+	return t.apply(opOr, a, b)
+}
+
+// Xor returns the symmetric difference of a and b.
+func (t *Table) Xor(a, b Ref) Ref {
+	t.check(a)
+	t.check(b)
+	return t.apply(opXor, a, b)
+}
+
+// Diff returns a ∧ ¬b (set difference), the operation path-entry update
+// (§4.4) uses to shrink header sets when a more-specific rule is added.
+func (t *Table) Diff(a, b Ref) Ref {
+	return t.And(a, t.Not(b))
+}
+
+// Implies reports whether a ⊆ b as header sets (a → b as predicates).
+func (t *Table) Implies(a, b Ref) bool {
+	return t.Diff(a, b) == False
+}
+
+// Equiv reports whether a and b denote the same set. Because nodes are
+// hash-consed this is constant-time reference equality; the method exists to
+// make call sites self-documenting.
+func (t *Table) Equiv(a, b Ref) bool {
+	t.check(a)
+	t.check(b)
+	return a == b
+}
+
+// apply computes the memoized binary operation op(a, b) by Shannon expansion
+// on the topmost variable of either operand.
+func (t *Table) apply(op opcode, a, b Ref) Ref {
+	// Terminal cases.
+	switch op {
+	case opAnd:
+		if a == False || b == False {
+			return False
+		}
+		if a == True {
+			return b
+		}
+		if b == True {
+			return a
+		}
+		if a == b {
+			return a
+		}
+	case opOr:
+		if a == True || b == True {
+			return True
+		}
+		if a == False {
+			return b
+		}
+		if b == False {
+			return a
+		}
+		if a == b {
+			return a
+		}
+	case opXor:
+		if a == False {
+			return b
+		}
+		if b == False {
+			return a
+		}
+		if a == b {
+			return False
+		}
+		if a == True {
+			return t.Not(b)
+		}
+		if b == True {
+			return t.Not(a)
+		}
+	}
+	// And/Or/Xor are commutative: normalize the cache key.
+	ka, kb := a, b
+	if ka > kb {
+		ka, kb = kb, ka
+	}
+	key := opKey{op, ka, kb}
+	if r, ok := t.opCache[key]; ok {
+		return r
+	}
+	na, nb := t.nodes[a], t.nodes[b]
+	var level int32
+	var alo, ahi, blo, bhi Ref
+	switch {
+	case na.level == nb.level:
+		level, alo, ahi, blo, bhi = na.level, na.lo, na.hi, nb.lo, nb.hi
+	case na.level < nb.level:
+		level, alo, ahi, blo, bhi = na.level, na.lo, na.hi, b, b
+	default:
+		level, alo, ahi, blo, bhi = nb.level, a, a, nb.lo, nb.hi
+	}
+	r := t.mk(level, t.apply(op, alo, blo), t.apply(op, ahi, bhi))
+	t.opCache[key] = r
+	return r
+}
+
+// Ite returns if-then-else: (f ∧ g) ∨ (¬f ∧ h).
+func (t *Table) Ite(f, g, h Ref) Ref {
+	return t.Or(t.And(f, g), t.And(t.Not(f), h))
+}
+
+// Restrict fixes variable v to the given value in f and returns the cofactor.
+func (t *Table) Restrict(f Ref, v int, value bool) Ref {
+	t.check(f)
+	if v < 0 || v >= t.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, t.numVars))
+	}
+	memo := make(map[Ref]Ref)
+	var rec func(Ref) Ref
+	rec = func(r Ref) Ref {
+		n := t.nodes[r]
+		if n.level > int32(v) {
+			return r // r does not depend on v (terminals included)
+		}
+		if m, ok := memo[r]; ok {
+			return m
+		}
+		var res Ref
+		if n.level == int32(v) {
+			if value {
+				res = n.hi
+			} else {
+				res = n.lo
+			}
+		} else {
+			res = t.mk(n.level, rec(n.lo), rec(n.hi))
+		}
+		memo[r] = res
+		return res
+	}
+	return rec(f)
+}
+
+// Exists existentially quantifies the contiguous variable range [lo, hi]
+// out of f: the result is satisfied by an assignment iff some setting of
+// those variables satisfies f. Header rewrites use this to "forget" a
+// field before pinning it to its new value.
+func (t *Table) Exists(f Ref, lo, hi int) Ref {
+	t.check(f)
+	if lo < 0 || hi >= t.numVars || lo > hi {
+		panic(fmt.Sprintf("bdd: Exists range [%d,%d] invalid for %d vars", lo, hi, t.numVars))
+	}
+	memo := make(map[Ref]Ref)
+	var rec func(Ref) Ref
+	rec = func(r Ref) Ref {
+		n := t.nodes[r]
+		if n.level > int32(hi) {
+			return r // below the range (terminals included): unchanged
+		}
+		if m, ok := memo[r]; ok {
+			return m
+		}
+		var res Ref
+		if n.level >= int32(lo) {
+			// Inside the range: either branch may witness satisfaction.
+			res = t.Or(rec(n.lo), rec(n.hi))
+		} else {
+			res = t.mk(n.level, rec(n.lo), rec(n.hi))
+		}
+		memo[r] = res
+		return res
+	}
+	return rec(f)
+}
+
+// Cube returns the conjunction of literals: for each (variable, value) pair,
+// variable = value. Pairs must be given in increasing variable order; this is
+// the fast path used to encode a concrete packet header.
+func (t *Table) Cube(vars []int, values []bool) Ref {
+	if len(vars) != len(values) {
+		panic("bdd: Cube argument length mismatch")
+	}
+	r := True
+	for i := len(vars) - 1; i >= 0; i-- {
+		v := vars[i]
+		if v < 0 || v >= t.numVars {
+			panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, t.numVars))
+		}
+		if i > 0 && vars[i-1] >= v {
+			panic("bdd: Cube variables must be strictly increasing")
+		}
+		if values[i] {
+			r = t.mk(int32(v), False, r)
+		} else {
+			r = t.mk(int32(v), r, False)
+		}
+	}
+	return r
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// NumVars variables, as a float64 (the counts for 104-variable header spaces
+// overflow uint64).
+func (t *Table) SatCount(f Ref) float64 {
+	t.check(f)
+	memo := make(map[Ref]float64)
+	var rec func(Ref) float64
+	rec = func(r Ref) float64 {
+		switch r {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if c, ok := memo[r]; ok {
+			return c
+		}
+		n := t.nodes[r]
+		skipLo := t.levelOf(n.lo) - n.level - 1
+		skipHi := t.levelOf(n.hi) - n.level - 1
+		c := rec(n.lo)*math.Exp2(float64(skipLo)) + rec(n.hi)*math.Exp2(float64(skipHi))
+		memo[r] = c
+		return c
+	}
+	if f == False {
+		return 0
+	}
+	// Variables above the root are unconstrained: each doubles the count.
+	return rec(f) * math.Exp2(float64(t.levelOf(f)))
+}
+
+// levelOf returns the level of r, mapping terminals to numVars so that
+// "variables skipped" arithmetic works at the bottom of the diagram.
+func (t *Table) levelOf(r Ref) int32 {
+	n := t.nodes[r]
+	if n.level == terminalLevel {
+		return int32(t.numVars)
+	}
+	return n.level
+}
+
+// AnySat returns one satisfying assignment of f as a slice of NumVars bytes:
+// 0 (variable must be false), 1 (must be true), or DontCare for variables f
+// does not constrain on the chosen path. It returns ok=false iff f is False.
+// VeriDP uses AnySat to synthesize a concrete witness packet from a path's
+// header set.
+func (t *Table) AnySat(f Ref) (assignment []byte, ok bool) {
+	t.check(f)
+	if f == False {
+		return nil, false
+	}
+	a := make([]byte, t.numVars)
+	for i := range a {
+		a[i] = DontCare
+	}
+	for f != True {
+		n := t.nodes[f]
+		if n.lo != False {
+			a[n.level] = 0
+			f = n.lo
+		} else {
+			a[n.level] = 1
+			f = n.hi
+		}
+	}
+	return a, true
+}
+
+// DontCare marks an unconstrained variable in AnySat / AllSat assignments.
+const DontCare byte = 2
+
+// AllSat invokes fn for every cube (path to True) of f, as a NumVars-byte
+// assignment using 0, 1, and DontCare. Iteration stops early if fn returns
+// false. The assignment slice is reused across calls; callers must copy it if
+// they retain it.
+func (t *Table) AllSat(f Ref, fn func(assignment []byte) bool) {
+	t.check(f)
+	if f == False {
+		return
+	}
+	a := make([]byte, t.numVars)
+	for i := range a {
+		a[i] = DontCare
+	}
+	var rec func(Ref) bool
+	rec = func(r Ref) bool {
+		if r == True {
+			return fn(a)
+		}
+		if r == False {
+			return true
+		}
+		n := t.nodes[r]
+		a[n.level] = 0
+		if !rec(n.lo) {
+			return false
+		}
+		a[n.level] = 1
+		if !rec(n.hi) {
+			return false
+		}
+		a[n.level] = DontCare
+		return true
+	}
+	rec(f)
+}
+
+// NodeCount returns the number of distinct nodes reachable from f, a useful
+// measure of how compactly a header set is represented.
+func (t *Table) NodeCount(f Ref) int {
+	t.check(f)
+	if f == False || f == True {
+		return 1
+	}
+	seen := make(map[Ref]bool)
+	var rec func(Ref)
+	rec = func(r Ref) {
+		if r == False || r == True || seen[r] {
+			return
+		}
+		seen[r] = true
+		n := t.nodes[r]
+		rec(n.lo)
+		rec(n.hi)
+	}
+	rec(f)
+	return len(seen) + 2 // interior nodes plus the two terminals
+}
+
+// Eval evaluates f under a complete assignment (one byte per variable, 0 or
+// 1) and reports whether the assignment satisfies f.
+func (t *Table) Eval(f Ref, assignment []byte) bool {
+	t.check(f)
+	if len(assignment) != t.numVars {
+		panic(fmt.Sprintf("bdd: Eval assignment length %d, want %d", len(assignment), t.numVars))
+	}
+	for f != True && f != False {
+		n := t.nodes[f]
+		if assignment[n.level] != 0 {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// ClearCaches drops the operation memo tables (but not the hash-cons table,
+// which canonicity requires). Long-running incremental-update loops call this
+// periodically to bound memory.
+func (t *Table) ClearCaches() {
+	t.opCache = make(map[opKey]Ref, 1024)
+	t.notCache = make(map[Ref]Ref, 256)
+}

@@ -1,0 +1,535 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTerminals(t *testing.T) {
+	tb := New(4)
+	if tb.Size() != 2 {
+		t.Fatalf("fresh table size = %d, want 2", tb.Size())
+	}
+	if tb.Not(False) != True || tb.Not(True) != False {
+		t.Fatal("Not on terminals broken")
+	}
+	if tb.And(True, True) != True || tb.And(True, False) != False {
+		t.Fatal("And on terminals broken")
+	}
+	if tb.Or(False, False) != False || tb.Or(False, True) != True {
+		t.Fatal("Or on terminals broken")
+	}
+}
+
+func TestVarBasics(t *testing.T) {
+	tb := New(4)
+	x := tb.Var(0)
+	y := tb.Var(1)
+	if x == y {
+		t.Fatal("distinct variables share a node")
+	}
+	if tb.Var(0) != x {
+		t.Fatal("Var not canonical")
+	}
+	if tb.NVar(0) != tb.Not(x) {
+		t.Fatal("NVar(0) != Not(Var(0))")
+	}
+	if tb.And(x, tb.Not(x)) != False {
+		t.Fatal("x ∧ ¬x != False")
+	}
+	if tb.Or(x, tb.Not(x)) != True {
+		t.Fatal("x ∨ ¬x != True")
+	}
+}
+
+func TestVarOutOfRange(t *testing.T) {
+	tb := New(4)
+	for _, f := range []func(){
+		func() { tb.Var(-1) },
+		func() { tb.Var(4) },
+		func() { tb.NVar(17) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range variable")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewPanicsOnBadVarCount(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	tb := New(4)
+	x, y := tb.Var(0), tb.Var(1)
+	a := tb.And(x, y)
+	b := tb.Not(tb.Or(tb.Not(x), tb.Not(y))) // De Morgan
+	if a != b {
+		t.Fatal("equivalent formulas produced different refs (canonicity broken)")
+	}
+}
+
+func TestXor(t *testing.T) {
+	tb := New(2)
+	x, y := tb.Var(0), tb.Var(1)
+	xor := tb.Xor(x, y)
+	want := tb.Or(tb.And(x, tb.Not(y)), tb.And(tb.Not(x), y))
+	if xor != want {
+		t.Fatal("Xor disagrees with its definition")
+	}
+	if tb.Xor(x, x) != False {
+		t.Fatal("x ⊕ x != False")
+	}
+	if tb.Xor(x, False) != x || tb.Xor(False, x) != x {
+		t.Fatal("x ⊕ 0 != x")
+	}
+	if tb.Xor(x, True) != tb.Not(x) {
+		t.Fatal("x ⊕ 1 != ¬x")
+	}
+}
+
+func TestIte(t *testing.T) {
+	tb := New(3)
+	f, g, h := tb.Var(0), tb.Var(1), tb.Var(2)
+	ite := tb.Ite(f, g, h)
+	// Check against truth-table evaluation.
+	for bits := 0; bits < 8; bits++ {
+		a := []byte{byte(bits & 1), byte(bits >> 1 & 1), byte(bits >> 2 & 1)}
+		want := (a[0] == 1 && a[1] == 1) || (a[0] == 0 && a[2] == 1)
+		if got := tb.Eval(ite, a); got != want {
+			t.Fatalf("Ite eval mismatch at %v: got %v want %v", a, got, want)
+		}
+	}
+}
+
+func TestDiffAndImplies(t *testing.T) {
+	tb := New(4)
+	x, y := tb.Var(0), tb.Var(1)
+	xy := tb.And(x, y)
+	if !tb.Implies(xy, x) {
+		t.Fatal("x∧y should imply x")
+	}
+	if tb.Implies(x, xy) {
+		t.Fatal("x should not imply x∧y")
+	}
+	if tb.Diff(x, x) != False {
+		t.Fatal("x \\ x != ∅")
+	}
+	if tb.Diff(x, False) != x {
+		t.Fatal("x \\ ∅ != x")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	tb := New(3)
+	x, y, z := tb.Var(0), tb.Var(1), tb.Var(2)
+	f := tb.Or(tb.And(x, y), tb.And(tb.Not(x), z))
+	if got := tb.Restrict(f, 0, true); got != y {
+		t.Fatalf("Restrict(f, x=1) = %v, want y", got)
+	}
+	if got := tb.Restrict(f, 0, false); got != z {
+		t.Fatalf("Restrict(f, x=0) = %v, want z", got)
+	}
+	// Restricting a variable the function does not depend on is identity.
+	if got := tb.Restrict(y, 0, true); got != y {
+		t.Fatal("Restrict on independent variable changed the function")
+	}
+}
+
+func TestExists(t *testing.T) {
+	tb := New(4)
+	x0, x1, x2 := tb.Var(0), tb.Var(1), tb.Var(2)
+	f := tb.And(x0, tb.And(x1, x2))
+	// Quantifying x1 leaves x0 ∧ x2.
+	if got := tb.Exists(f, 1, 1); got != tb.And(x0, x2) {
+		t.Fatal("Exists over one variable wrong")
+	}
+	// Quantifying everything that f depends on gives True.
+	if tb.Exists(f, 0, 3) != True {
+		t.Fatal("Exists over all vars of a satisfiable f should be True")
+	}
+	if tb.Exists(False, 0, 3) != False {
+		t.Fatal("Exists(False) must stay False")
+	}
+	// Independence: quantifying untouched variables is identity.
+	if tb.Exists(x0, 2, 3) != x0 {
+		t.Fatal("Exists over independent vars changed the function")
+	}
+}
+
+// Property: h' satisfies Exists(f, lo, hi) iff some setting of [lo,hi]
+// makes f true (checked by brute force over 6 variables).
+func TestQuickExistsSemantics(t *testing.T) {
+	tb := New(6)
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 100; trial++ {
+		f, _ := randomFormula(tb, rng, 6, 4)
+		lo := rng.Intn(6)
+		hi := lo + rng.Intn(6-lo)
+		g := tb.Exists(f, lo, hi)
+		for bits := 0; bits < 64; bits++ {
+			a := make([]byte, 6)
+			for i := range a {
+				a[i] = byte(bits >> i & 1)
+			}
+			want := false
+			span := hi - lo + 1
+			for w := 0; w < 1<<span; w++ {
+				b := append([]byte(nil), a...)
+				for i := 0; i < span; i++ {
+					b[lo+i] = byte(w >> i & 1)
+				}
+				if tb.Eval(f, b) {
+					want = true
+					break
+				}
+			}
+			if got := tb.Eval(g, a); got != want {
+				t.Fatalf("trial %d: Exists[%d,%d] mismatch at %v", trial, lo, hi, a)
+			}
+		}
+	}
+}
+
+func TestCube(t *testing.T) {
+	tb := New(4)
+	c := tb.Cube([]int{0, 2}, []bool{true, false})
+	want := tb.And(tb.Var(0), tb.Not(tb.Var(2)))
+	if c != want {
+		t.Fatal("Cube disagrees with explicit conjunction")
+	}
+	if tb.Cube(nil, nil) != True {
+		t.Fatal("empty cube should be True")
+	}
+}
+
+func TestCubePanics(t *testing.T) {
+	tb := New(4)
+	for _, f := range []func(){
+		func() { tb.Cube([]int{0}, nil) },
+		func() { tb.Cube([]int{1, 0}, []bool{true, true}) }, // not increasing
+		func() { tb.Cube([]int{9}, []bool{true}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic from malformed Cube")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	tb := New(4)
+	if got := tb.SatCount(True); got != 16 {
+		t.Fatalf("SatCount(True) = %v, want 16", got)
+	}
+	if got := tb.SatCount(False); got != 0 {
+		t.Fatalf("SatCount(False) = %v, want 0", got)
+	}
+	x := tb.Var(0)
+	if got := tb.SatCount(x); got != 8 {
+		t.Fatalf("SatCount(x0) = %v, want 8", got)
+	}
+	// x3 (bottom variable): still half the space.
+	if got := tb.SatCount(tb.Var(3)); got != 8 {
+		t.Fatalf("SatCount(x3) = %v, want 8", got)
+	}
+	xy := tb.And(tb.Var(0), tb.Var(3))
+	if got := tb.SatCount(xy); got != 4 {
+		t.Fatalf("SatCount(x0∧x3) = %v, want 4", got)
+	}
+	cube := tb.Cube([]int{0, 1, 2, 3}, []bool{true, false, true, true})
+	if got := tb.SatCount(cube); got != 1 {
+		t.Fatalf("SatCount(full cube) = %v, want 1", got)
+	}
+}
+
+func TestSatCountLargeSpace(t *testing.T) {
+	tb := New(104) // the header-space width VeriDP uses
+	if got, want := tb.SatCount(True), math.Exp2(104); got != want {
+		t.Fatalf("SatCount(True) over 104 vars = %g, want %g", got, want)
+	}
+	if got, want := tb.SatCount(tb.Var(50)), math.Exp2(103); got != want {
+		t.Fatalf("SatCount(var) over 104 vars = %g, want %g", got, want)
+	}
+}
+
+func TestAnySat(t *testing.T) {
+	tb := New(4)
+	if _, ok := tb.AnySat(False); ok {
+		t.Fatal("AnySat(False) reported satisfiable")
+	}
+	a, ok := tb.AnySat(True)
+	if !ok {
+		t.Fatal("AnySat(True) reported unsatisfiable")
+	}
+	for i, v := range a {
+		if v != DontCare {
+			t.Fatalf("AnySat(True)[%d] = %d, want DontCare", i, v)
+		}
+	}
+	f := tb.And(tb.Var(0), tb.Not(tb.Var(2)))
+	a, ok = tb.AnySat(f)
+	if !ok {
+		t.Fatal("satisfiable function reported unsatisfiable")
+	}
+	full := concretize(a)
+	if !tb.Eval(f, full) {
+		t.Fatalf("AnySat assignment %v does not satisfy f", a)
+	}
+}
+
+// concretize replaces DontCare with 0 to build a complete assignment.
+func concretize(a []byte) []byte {
+	out := make([]byte, len(a))
+	for i, v := range a {
+		if v == DontCare {
+			out[i] = 0
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+func TestAllSat(t *testing.T) {
+	tb := New(3)
+	f := tb.Or(tb.And(tb.Var(0), tb.Var(1)), tb.Not(tb.Var(0)))
+	var count float64
+	tb.AllSat(f, func(a []byte) bool {
+		free := 0
+		for _, v := range a {
+			if v == DontCare {
+				free++
+			}
+		}
+		count += math.Exp2(float64(free))
+		return true
+	})
+	if want := tb.SatCount(f); count != want {
+		t.Fatalf("AllSat cube weights sum to %v, SatCount says %v", count, want)
+	}
+}
+
+func TestAllSatEarlyStop(t *testing.T) {
+	tb := New(3)
+	calls := 0
+	tb.AllSat(True, func([]byte) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("AllSat did not stop after fn returned false (calls=%d)", calls)
+	}
+	tb.AllSat(False, func([]byte) bool { calls++; return true })
+	if calls != 1 {
+		t.Fatal("AllSat(False) invoked fn")
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	tb := New(4)
+	if tb.NodeCount(True) != 1 || tb.NodeCount(False) != 1 {
+		t.Fatal("terminal NodeCount != 1")
+	}
+	x := tb.Var(0)
+	if got := tb.NodeCount(x); got != 3 {
+		t.Fatalf("NodeCount(var) = %d, want 3", got)
+	}
+}
+
+func TestEvalPanicsOnShortAssignment(t *testing.T) {
+	tb := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Eval accepted a short assignment")
+		}
+	}()
+	tb.Eval(True, []byte{0, 1})
+}
+
+func TestClearCaches(t *testing.T) {
+	tb := New(8)
+	x, y := tb.Var(0), tb.Var(1)
+	a := tb.And(x, y)
+	tb.ClearCaches()
+	if tb.And(x, y) != a {
+		t.Fatal("result changed after ClearCaches (canonicity must survive)")
+	}
+}
+
+// randomFormula builds a random BDD over n variables with the given depth,
+// returning the Ref and an evaluator closure for cross-checking.
+func randomFormula(tb *Table, rng *rand.Rand, n, depth int) (Ref, func([]byte) bool) {
+	if depth == 0 || rng.Intn(4) == 0 {
+		v := rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			return tb.Var(v), func(a []byte) bool { return a[v] == 1 }
+		}
+		return tb.NVar(v), func(a []byte) bool { return a[v] == 0 }
+	}
+	l, lf := randomFormula(tb, rng, n, depth-1)
+	r, rf := randomFormula(tb, rng, n, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return tb.And(l, r), func(a []byte) bool { return lf(a) && rf(a) }
+	case 1:
+		return tb.Or(l, r), func(a []byte) bool { return lf(a) || rf(a) }
+	default:
+		return tb.Xor(l, r), func(a []byte) bool { return lf(a) != rf(a) }
+	}
+}
+
+// TestRandomFormulasAgainstTruthTable cross-checks the whole engine against
+// brute-force evaluation over all 2^n assignments.
+func TestRandomFormulasAgainstTruthTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tb := New(6)
+	for trial := 0; trial < 200; trial++ {
+		f, eval := randomFormula(tb, rng, 6, 4)
+		var satCount float64
+		for bits := 0; bits < 64; bits++ {
+			a := make([]byte, 6)
+			for i := range a {
+				a[i] = byte(bits >> i & 1)
+			}
+			want := eval(a)
+			if got := tb.Eval(f, a); got != want {
+				t.Fatalf("trial %d: Eval mismatch at %v", trial, a)
+			}
+			if want {
+				satCount++
+			}
+		}
+		if got := tb.SatCount(f); got != satCount {
+			t.Fatalf("trial %d: SatCount = %v, brute force = %v", trial, got, satCount)
+		}
+	}
+}
+
+// Property: And is the set intersection — an assignment satisfies a∧b iff it
+// satisfies both.
+func TestQuickAndIsIntersection(t *testing.T) {
+	tb := New(8)
+	rng := rand.New(rand.NewSource(7))
+	prop := func(seedA, seedB int64, bits uint8) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		a, _ := randomFormula(tb, ra, 8, 3)
+		b, _ := randomFormula(tb, rb, 8, 3)
+		assign := make([]byte, 8)
+		for i := range assign {
+			assign[i] = byte(bits >> i & 1)
+		}
+		return tb.Eval(tb.And(a, b), assign) == (tb.Eval(a, assign) && tb.Eval(b, assign))
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: double negation is identity, and De Morgan's laws hold at the
+// canonical-reference level.
+func TestQuickNegationLaws(t *testing.T) {
+	tb := New(8)
+	prop := func(seedA, seedB int64) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		a, _ := randomFormula(tb, ra, 8, 3)
+		b, _ := randomFormula(tb, rb, 8, 3)
+		if tb.Not(tb.Not(a)) != a {
+			return false
+		}
+		if tb.Not(tb.And(a, b)) != tb.Or(tb.Not(a), tb.Not(b)) {
+			return false
+		}
+		return tb.Not(tb.Or(a, b)) == tb.And(tb.Not(a), tb.Not(b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Diff partitions — (a\b) ∪ (a∧b) == a and (a\b) ∧ b == ∅.
+func TestQuickDiffPartition(t *testing.T) {
+	tb := New(8)
+	prop := func(seedA, seedB int64) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		a, _ := randomFormula(tb, ra, 8, 3)
+		b, _ := randomFormula(tb, rb, 8, 3)
+		d := tb.Diff(a, b)
+		if tb.Or(d, tb.And(a, b)) != a {
+			return false
+		}
+		return tb.And(d, b) == False
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AnySat returns an assignment that satisfies the formula.
+func TestQuickAnySatSound(t *testing.T) {
+	tb := New(8)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f, _ := randomFormula(tb, rng, 8, 4)
+		a, ok := tb.AnySat(f)
+		if !ok {
+			return f == False
+		}
+		return tb.Eval(f, concretize(a))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAndChain(b *testing.B) {
+	tb := New(104)
+	vars := make([]Ref, 104)
+	for i := range vars {
+		vars[i] = tb.Var(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := True
+		for _, v := range vars {
+			f = tb.And(f, v)
+		}
+	}
+}
+
+func BenchmarkEval104Vars(b *testing.B) {
+	tb := New(104)
+	f := True
+	for i := 0; i < 104; i += 2 {
+		f = tb.And(f, tb.Var(i))
+	}
+	assign := make([]byte, 104)
+	for i := range assign {
+		assign[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Eval(f, assign)
+	}
+}

@@ -1,0 +1,133 @@
+// BDD serialization: exporting the reachable subgraph of chosen roots and
+// rebuilding it in a fresh table. Node indices are topologically ordered by
+// construction (mk never creates a parent before its children), so export
+// is a single ascending scan and import can re-canonicalize node by node.
+// The path-table snapshot feature builds on this.
+
+package bdd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Export writes the subgraph reachable from roots and returns, for each
+// root, its position in the written order (terminals map to 0 and 1).
+// Format: numVars u32, nodeCount u32, then per node level u32, lo u32,
+// hi u32 — where lo/hi index into the written sequence (0=False, 1=True,
+// 2=first written node, ...).
+func (t *Table) Export(w io.Writer, roots []Ref) ([]uint32, error) {
+	for _, r := range roots {
+		t.check(r)
+	}
+	// Collect reachable interior nodes.
+	seen := make(map[Ref]bool)
+	var stack []Ref
+	for _, r := range roots {
+		if r > True && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := t.nodes[r]
+		for _, c := range []Ref{n.lo, n.hi} {
+			if c > True && !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	order := make([]Ref, 0, len(seen))
+	for r := range seen {
+		order = append(order, r)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	remap := make(map[Ref]uint32, len(order)+2)
+	remap[False] = 0
+	remap[True] = 1
+	for i, r := range order {
+		remap[r] = uint32(i + 2)
+	}
+
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(t.numVars))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(order)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 12)
+	for _, r := range order {
+		n := t.nodes[r]
+		binary.BigEndian.PutUint32(buf[0:4], uint32(n.level))
+		binary.BigEndian.PutUint32(buf[4:8], remap[n.lo])
+		binary.BigEndian.PutUint32(buf[8:12], remap[n.hi])
+		if _, err := w.Write(buf); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]uint32, len(roots))
+	for i, r := range roots {
+		out[i] = remap[r]
+	}
+	return out, nil
+}
+
+// Import reads an exported subgraph into the table (which must have the
+// same variable count) and returns a resolver from exported positions to
+// live Refs. Nodes are re-canonicalized through the hash-cons table, so
+// importing into a non-empty table is safe and shares structure.
+func (t *Table) Import(r io.Reader) (func(uint32) (Ref, error), error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("bdd: import header: %w", err)
+	}
+	if nv := binary.BigEndian.Uint32(hdr[0:4]); int(nv) != t.numVars {
+		return nil, fmt.Errorf("bdd: import variable count %d, table has %d", nv, t.numVars)
+	}
+	count := binary.BigEndian.Uint32(hdr[4:8])
+	const maxImport = 1 << 26
+	if count > maxImport {
+		return nil, fmt.Errorf("bdd: implausible import of %d nodes", count)
+	}
+	refs := make([]Ref, count+2)
+	refs[0], refs[1] = False, True
+	buf := make([]byte, 12)
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("bdd: import node %d: %w", i, err)
+		}
+		level := binary.BigEndian.Uint32(buf[0:4])
+		lo := binary.BigEndian.Uint32(buf[4:8])
+		hi := binary.BigEndian.Uint32(buf[8:12])
+		if int(level) >= t.numVars {
+			return nil, fmt.Errorf("bdd: import node %d: level %d out of range", i, level)
+		}
+		if lo >= i+2 || hi >= i+2 {
+			return nil, fmt.Errorf("bdd: import node %d: forward reference", i)
+		}
+		// Children must sit strictly below this node's level.
+		for _, c := range []uint32{lo, hi} {
+			if c >= 2 {
+				if t.nodes[refs[c]].level <= int32(level) {
+					return nil, fmt.Errorf("bdd: import node %d: ordering violation", i)
+				}
+			}
+		}
+		if lo == hi {
+			return nil, fmt.Errorf("bdd: import node %d: redundant node", i)
+		}
+		refs[i+2] = t.mk(int32(level), refs[lo], refs[hi])
+	}
+	return func(pos uint32) (Ref, error) {
+		if uint64(pos) >= uint64(len(refs)) {
+			return False, fmt.Errorf("bdd: import position %d out of range", pos)
+		}
+		return refs[pos], nil
+	}, nil
+}

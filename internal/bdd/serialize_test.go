@@ -1,0 +1,111 @@
+package bdd
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src := New(16)
+	rng := rand.New(rand.NewSource(5))
+	var roots []Ref
+	var evals []func([]byte) bool
+	for i := 0; i < 20; i++ {
+		f, eval := randomFormula(src, rng, 16, 5)
+		roots = append(roots, f)
+		evals = append(evals, eval)
+	}
+	roots = append(roots, False, True)
+
+	var buf bytes.Buffer
+	pos, err := src.Export(&buf, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != len(roots) {
+		t.Fatalf("positions %d", len(pos))
+	}
+
+	dst := New(16)
+	resolve, err := dst.Import(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pos {
+		ref, err := resolve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Semantic equality on random assignments.
+		for probe := 0; probe < 200; probe++ {
+			a := make([]byte, 16)
+			for j := range a {
+				a[j] = byte(rng.Intn(2))
+			}
+			if i < len(evals) {
+				if dst.Eval(ref, a) != evals[i](a) {
+					t.Fatalf("root %d diverged after round trip", i)
+				}
+			}
+		}
+	}
+	// Terminals round trip by identity.
+	if ref, _ := resolve(pos[len(pos)-2]); ref != False {
+		t.Fatal("False corrupted")
+	}
+	if ref, _ := resolve(pos[len(pos)-1]); ref != True {
+		t.Fatal("True corrupted")
+	}
+}
+
+func TestImportIntoPopulatedTableShares(t *testing.T) {
+	src := New(8)
+	f := src.And(src.Var(0), src.Var(3))
+	var buf bytes.Buffer
+	pos, err := src.Export(&buf, []Ref{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New(8)
+	g := dst.And(dst.Var(0), dst.Var(3)) // same function, built directly
+	resolve, err := dst.Import(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := resolve(pos[0])
+	if got != g {
+		t.Fatal("import did not canonicalize onto the existing structure")
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	dst := New(8)
+	cases := [][]byte{
+		{},
+		{0, 0, 0, 9, 0, 0, 0, 0},             // wrong var count
+		{0, 0, 0, 8, 0xff, 0xff, 0xff, 0xff}, // absurd node count
+		{0, 0, 0, 8, 0, 0, 0, 1, 0, 0, 0, 99, 0, 0, 0, 0, 0, 0, 0, 1}, // bad level
+		{0, 0, 0, 8, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 5, 0, 0, 0, 1},  // forward ref
+		{0, 0, 0, 8, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1},  // redundant
+	}
+	for i, c := range cases {
+		if _, err := dst.Import(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Ordering violation: node at level 3 with a child at level 3.
+	src := New(8)
+	inner := src.Var(3)
+	outer := src.mk(3, inner, True) // illegal by ordering; mk would never
+	_ = outer                       // be handed this by normal ops, so craft bytes directly
+	bad := []byte{
+		0, 0, 0, 8, // numVars
+		0, 0, 0, 2, // two nodes
+		0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 1, // node A: level 3
+		0, 0, 0, 3, 0, 0, 0, 2, 0, 0, 0, 1, // node B: level 3 with child A
+	}
+	if _, err := New(8).Import(bytes.NewReader(bad)); err == nil {
+		t.Error("ordering violation accepted")
+	}
+}

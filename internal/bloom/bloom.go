@@ -1,0 +1,111 @@
+// Package bloom implements the Bloom-filter packet tags at the heart of
+// VeriDP's path encoding.
+//
+// Every hop a sampled packet takes is folded into its tag as
+//
+//	tag ← tag ⊔ BF(input_port ‖ switch_ID ‖ output_port)
+//
+// where BF(x) is a k-bit Bloom filter holding the single element x and ⊔ is
+// bitwise OR (Algorithm 1). The same fold computed offline over a path in the
+// path table yields the expected tag; equality of the two verifies the path,
+// and the subset structure of Bloom filters (unlike a plain hash/XOR fold)
+// is what lets Algorithm 4 test individual hops for membership during fault
+// localization — the reason §3.3 rejects hash-based tagging.
+//
+// Following §5, the probe positions are derived with Kirsch–Mitzenmacher
+// double hashing: g_i(x) = h1(x) + i·h2(x) for i = 0, 1, 2, where h1 and h2
+// are the two 16-bit halves of one 32-bit Murmur3 hash — the same scheme
+// Cassandra uses. The paper's prototype uses a 16-bit filter carried in a
+// VLAN tag; Figure 12 sweeps the size from 8 to 64 bits, so the size is a
+// parameter here.
+package bloom
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Tag is a Bloom-filter packet tag of up to 64 bits. Bits above the
+// configured filter size are always zero. The zero Tag is the empty filter,
+// matching Algorithm 1's "tag ← 0" initialization at entry switches.
+type Tag uint64
+
+// NumHashes is the number of probe positions per element, fixed at three by
+// the paper's implementation (§5).
+const NumHashes = 3
+
+// murmurSeed is the fixed seed shared by taggers and the verification
+// server; both sides must compute identical filters.
+const murmurSeed = 0x56444250 // "VDBP"
+
+// Params configures the tag scheme: the filter width in bits. All switches
+// and the verification server must agree on Params.
+type Params struct {
+	// MBits is the Bloom filter size in bits, 1..64. The paper's prototype
+	// uses 16 (one VLAN TCI); Figure 12 evaluates 8..64.
+	MBits int
+}
+
+// DefaultParams is the paper's prototype configuration: a 16-bit tag carried
+// in the first VLAN tag's TCI.
+var DefaultParams = Params{MBits: 16}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.MBits < 1 || p.MBits > 64 {
+		return fmt.Errorf("bloom: filter size %d bits out of range [1,64]", p.MBits)
+	}
+	return nil
+}
+
+// mask returns the bitmask covering the filter's m bits.
+func (p Params) mask() uint64 {
+	if p.MBits >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<p.MBits - 1
+}
+
+// Hash returns BF(data): the filter holding the single element data. The
+// three probe positions are g_i = (h1 + i·h2) mod m with h1, h2 the two
+// halves of Murmur3(data).
+func (p Params) Hash(data []byte) Tag {
+	h := Murmur3(data, murmurSeed)
+	h1 := h & 0xffff
+	h2 := h >> 16
+	m := uint32(p.MBits)
+	var t Tag
+	for i := uint32(0); i < NumHashes; i++ {
+		pos := (h1 + i*h2) % m
+		t |= 1 << pos
+	}
+	return t
+}
+
+// Union returns the bitwise OR of two tags — the ⊔ of Algorithm 1.
+func (t Tag) Union(o Tag) Tag { return t | o }
+
+// Contains reports whether element filter e is a subset of t: the membership
+// test BF(hop) ⊓ tag == BF(hop) from Algorithm 4 (PathInfer). A true result
+// may be a Bloom-filter false positive; a false result is definite.
+func (t Tag) Contains(e Tag) bool { return t&e == e }
+
+// PopCount returns the number of set bits, useful for fill-ratio diagnostics.
+func (t Tag) PopCount() int { return bits.OnesCount64(uint64(t)) }
+
+// String renders the tag as a hexadecimal literal.
+func (t Tag) String() string { return fmt.Sprintf("%#x", uint64(t)) }
+
+// FalsePositiveRate estimates the probability that a random absent element
+// passes Contains against a filter holding n elements: (1-(1-1/m)^(kn))^k.
+// Used by the evaluation harness to sanity-check measured Figure 12 curves.
+func (p Params) FalsePositiveRate(n int) float64 {
+	m := float64(p.MBits)
+	inside := 1.0
+	base := 1 - 1/m
+	for i := 0; i < NumHashes*n; i++ {
+		inside *= base
+	}
+	fp := 1 - inside
+	return fp * fp * fp
+}

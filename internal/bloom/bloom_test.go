@@ -1,0 +1,251 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Murmur3 reference vectors computed with the canonical C++ implementation
+// (MurmurHash3_x86_32).
+func TestMurmur3ReferenceVectors(t *testing.T) {
+	cases := []struct {
+		data string
+		seed uint32
+		want uint32
+	}{
+		{"", 0, 0},
+		{"", 1, 0x514e28b7},
+		{"", 0xffffffff, 0x81f16f39},
+		{"a", 0, 0x3c2569b2},
+		{"abc", 0, 0xb3dd93fa},
+		{"abcd", 0, 0x43ed676a},
+		{"hello", 0, 0x248bfa47},
+		{"hello, world", 0, 0x149bbb7f},
+		{"The quick brown fox jumps over the lazy dog", 0x9747b28c, 0x2fa826cd},
+	}
+	for _, c := range cases {
+		if got := Murmur3([]byte(c.data), c.seed); got != c.want {
+			t.Errorf("Murmur3(%q, %#x) = %#x, want %#x", c.data, c.seed, got, c.want)
+		}
+	}
+}
+
+func TestMurmur3AllTailLengths(t *testing.T) {
+	// Exercise every body/tail combination; verify determinism and that
+	// extending input changes the hash (no trivial collisions on prefixes).
+	data := []byte("0123456789abcdef")
+	seen := map[uint32]int{}
+	for n := 0; n <= len(data); n++ {
+		h := Murmur3(data[:n], 42)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("prefix lengths %d and %d collide", prev, n)
+		}
+		seen[h] = n
+		if h != Murmur3(data[:n], 42) {
+			t.Fatalf("Murmur3 not deterministic at length %d", n)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	for _, m := range []int{1, 8, 16, 32, 64} {
+		if err := (Params{MBits: m}).Validate(); err != nil {
+			t.Errorf("MBits=%d unexpectedly invalid: %v", m, err)
+		}
+	}
+	for _, m := range []int{0, -1, 65, 1000} {
+		if err := (Params{MBits: m}).Validate(); err == nil {
+			t.Errorf("MBits=%d unexpectedly valid", m)
+		}
+	}
+}
+
+func TestHashStaysInsideFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, m := range []int{8, 16, 24, 32, 48, 64} {
+		p := Params{MBits: m}
+		for i := 0; i < 200; i++ {
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], rng.Uint64())
+			tag := p.Hash(buf[:])
+			if uint64(tag) & ^p.mask() != 0 {
+				t.Fatalf("m=%d: hash set bits above the filter width: %v", m, tag)
+			}
+			if tag == 0 {
+				t.Fatalf("m=%d: element filter is empty", m)
+			}
+			if pc := tag.PopCount(); pc > NumHashes {
+				t.Fatalf("m=%d: element filter has %d bits set, max %d", m, pc, NumHashes)
+			}
+		}
+	}
+}
+
+func TestContainsSelf(t *testing.T) {
+	p := DefaultParams
+	e := p.Hash([]byte("hop-1"))
+	if !e.Contains(e) {
+		t.Fatal("element not contained in itself")
+	}
+	var empty Tag
+	if !e.Contains(empty) {
+		t.Fatal("empty filter should be subset of everything")
+	}
+	if empty.Contains(e) {
+		t.Fatal("non-empty filter contained in empty one")
+	}
+}
+
+func TestUnionMonotone(t *testing.T) {
+	p := DefaultParams
+	a := p.Hash([]byte("hop-a"))
+	b := p.Hash([]byte("hop-b"))
+	u := a.Union(b)
+	if !u.Contains(a) || !u.Contains(b) {
+		t.Fatal("union does not contain its operands")
+	}
+	if u.Union(u) != u {
+		t.Fatal("union not idempotent")
+	}
+	if a.Union(b) != b.Union(a) {
+		t.Fatal("union not commutative")
+	}
+}
+
+// Property: inserting elements never makes a previously-present element
+// disappear (no false negatives — the property Figure 12's "no false
+// positives in verification" argument rests on).
+func TestQuickNoFalseNegatives(t *testing.T) {
+	p := Params{MBits: 16}
+	prop := func(elems [][]byte, probe uint8) bool {
+		if len(elems) == 0 {
+			return true
+		}
+		var tag Tag
+		for _, e := range elems {
+			tag = tag.Union(p.Hash(e))
+		}
+		// Every inserted element must still test positive.
+		for _, e := range elems {
+			if !tag.Contains(p.Hash(e)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: subset testing is sound — if Contains returns false the element
+// was definitely never inserted.
+func TestQuickContainsFalseIsDefinite(t *testing.T) {
+	p := Params{MBits: 32}
+	prop := func(elems [][]byte, probe []byte) bool {
+		var tag Tag
+		inserted := false
+		for _, e := range elems {
+			tag = tag.Union(p.Hash(e))
+			if string(e) == string(probe) {
+				inserted = true
+			}
+		}
+		if !tag.Contains(p.Hash(probe)) && inserted {
+			return false // false negative: forbidden
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFalsePositiveRateMatchesTheory measures the empirical false-positive
+// rate for a 16-bit filter holding 5 hops (a typical fat-tree path length)
+// and checks it is within 3x of the analytic estimate — the scale that makes
+// Figure 12's curves meaningful.
+func TestFalsePositiveRateMatchesTheory(t *testing.T) {
+	p := Params{MBits: 16}
+	rng := rand.New(rand.NewSource(123))
+	const nHops = 5
+	const trials = 20000
+	fp := 0
+	for trial := 0; trial < trials; trial++ {
+		var tag Tag
+		for i := 0; i < nHops; i++ {
+			var buf [12]byte
+			binary.BigEndian.PutUint32(buf[0:], rng.Uint32())
+			binary.BigEndian.PutUint64(buf[4:], rng.Uint64())
+			tag = tag.Union(p.Hash(buf[:]))
+		}
+		var probe [12]byte
+		binary.BigEndian.PutUint32(probe[0:], rng.Uint32())
+		binary.BigEndian.PutUint64(probe[4:], rng.Uint64())
+		if tag.Contains(p.Hash(probe[:])) {
+			fp++
+		}
+	}
+	got := float64(fp) / trials
+	want := p.FalsePositiveRate(nHops)
+	if got > want*3 || got < want/3 {
+		t.Fatalf("empirical FP rate %.4f vs theory %.4f: off by more than 3x", got, want)
+	}
+}
+
+// TestBiggerFilterFewerFalsePositives checks the monotonicity driving
+// Figure 12: doubling the filter size lowers the false positive rate.
+func TestBiggerFilterFewerFalsePositives(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	rates := make([]float64, 0, 4)
+	for _, m := range []int{8, 16, 32, 64} {
+		p := Params{MBits: m}
+		const trials = 10000
+		fp := 0
+		for trial := 0; trial < trials; trial++ {
+			var tag Tag
+			for i := 0; i < 5; i++ {
+				var buf [8]byte
+				binary.BigEndian.PutUint64(buf[:], rng.Uint64())
+				tag = tag.Union(p.Hash(buf[:]))
+			}
+			var probe [8]byte
+			binary.BigEndian.PutUint64(probe[:], rng.Uint64())
+			if tag.Contains(p.Hash(probe[:])) {
+				fp++
+			}
+		}
+		rates = append(rates, float64(fp)/trials)
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] >= rates[i-1] && rates[i-1] > 0.001 {
+			t.Fatalf("FP rate did not decrease with filter size: %v", rates)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Tag(0xbeef).String(); got != "0xbeef" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	p := DefaultParams
+	data := []byte("\x00\x01\x00\x00\x00\x07\x00\x03")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Hash(data)
+	}
+}
+
+func BenchmarkMurmur3(b *testing.B) {
+	data := make([]byte, 12)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Murmur3(data, murmurSeed)
+	}
+}

@@ -1,0 +1,58 @@
+// Murmur3 x86 32-bit hash, implemented from scratch per the reference
+// algorithm (Austin Appleby's MurmurHash3_x86_32). The paper's §5 derives its
+// Bloom-filter probe functions from "the two halves of a 32-bit Murmur3
+// hash"; this file provides that hash.
+
+package bloom
+
+import "encoding/binary"
+
+const (
+	murmurC1 = 0xcc9e2d51
+	murmurC2 = 0x1b873593
+)
+
+// Murmur3 computes the 32-bit Murmur3 hash of data with the given seed.
+func Murmur3(data []byte, seed uint32) uint32 {
+	h := seed
+	n := len(data)
+
+	// Body: 4-byte blocks.
+	nblocks := n / 4
+	for i := 0; i < nblocks; i++ {
+		k := binary.LittleEndian.Uint32(data[i*4:])
+		k *= murmurC1
+		k = k<<15 | k>>17
+		k *= murmurC2
+		h ^= k
+		h = h<<13 | h>>19
+		h = h*5 + 0xe6546b64
+	}
+
+	// Tail: the remaining 0-3 bytes.
+	var k uint32
+	tail := data[nblocks*4:]
+	switch len(tail) {
+	case 3:
+		k ^= uint32(tail[2]) << 16
+		fallthrough
+	case 2:
+		k ^= uint32(tail[1]) << 8
+		fallthrough
+	case 1:
+		k ^= uint32(tail[0])
+		k *= murmurC1
+		k = k<<15 | k>>17
+		k *= murmurC2
+		h ^= k
+	}
+
+	// Finalization: force all bits to avalanche.
+	h ^= uint32(n)
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}

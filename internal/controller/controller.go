@@ -1,0 +1,299 @@
+// Package controller is the SDN control plane: it compiles operator intent
+// (reachability, ACLs, waypoint chains, traffic-engineering splits — the
+// §2.3 policy classes) into logical rules, and installs them on switches
+// through a southbound Installer. The controller's logical rule store is
+// stage R of the paper's Figure 1 pipeline; whatever the data plane
+// actually holds is R′, and faults between the two are exactly what VeriDP
+// detects.
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"veridp/internal/flowtable"
+	"veridp/internal/openflow"
+	"veridp/internal/topo"
+)
+
+// Installer carries rules to the data plane. The sim package installs
+// directly into emulated switches; the live example sends FlowMods over
+// TCP; the faults package wraps an Installer to emulate installation
+// failures (§2.2, "lack of data plane acknowledgement").
+type Installer interface {
+	// Apply delivers one FlowMod to its target switch.
+	Apply(f *openflow.FlowMod) error
+	// Barrier blocks until the switch has processed prior FlowMods.
+	Barrier(sw topo.SwitchID) error
+}
+
+// Controller compiles and installs rules, remembering the logical rule set.
+type Controller struct {
+	Net *topo.Network
+
+	installer Installer
+	logical   map[topo.SwitchID]*flowtable.SwitchConfig
+	nextRule  uint64
+}
+
+// New returns a controller over the network using the given installer.
+func New(n *topo.Network, inst Installer) *Controller {
+	c := &Controller{
+		Net:       n,
+		installer: inst,
+		logical:   make(map[topo.SwitchID]*flowtable.SwitchConfig, n.NumSwitches()),
+		nextRule:  1,
+	}
+	for _, sw := range n.Switches() {
+		c.logical[sw.ID] = flowtable.NewSwitchConfig(sw.Ports())
+	}
+	return c
+}
+
+// Logical exposes the controller's view of every switch configuration —
+// the input to path-table construction. Callers must not mutate it.
+func (c *Controller) Logical() map[topo.SwitchID]*flowtable.SwitchConfig {
+	return c.logical
+}
+
+// InstallRule records the rule logically and pushes it to the data plane,
+// returning the assigned rule ID.
+func (c *Controller) InstallRule(sw topo.SwitchID, r flowtable.Rule) (uint64, error) {
+	cfg, ok := c.logical[sw]
+	if !ok {
+		return 0, fmt.Errorf("controller: unknown switch %d", sw)
+	}
+	r.ID = c.nextRule
+	c.nextRule++
+	if _, err := cfg.Table.Add(&r); err != nil {
+		return 0, err
+	}
+	err := c.installer.Apply(&openflow.FlowMod{
+		Command: openflow.FlowAdd,
+		Switch:  sw,
+		RuleID:  r.ID,
+		Rule:    r,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("controller: install on switch %d: %w", sw, err)
+	}
+	return r.ID, nil
+}
+
+// RemoveRule deletes a rule logically and on the data plane.
+func (c *Controller) RemoveRule(sw topo.SwitchID, id uint64) error {
+	cfg, ok := c.logical[sw]
+	if !ok {
+		return fmt.Errorf("controller: unknown switch %d", sw)
+	}
+	if err := cfg.Table.Delete(id); err != nil {
+		return err
+	}
+	return c.installer.Apply(&openflow.FlowMod{
+		Command: openflow.FlowDelete,
+		Switch:  sw,
+		RuleID:  id,
+	})
+}
+
+// Barrier synchronizes with every switch.
+func (c *Controller) Barrier() error {
+	for _, sw := range c.Net.Switches() {
+		if err := c.installer.Barrier(sw.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// destTree computes, for one destination attach point, the egress port at
+// every switch: the port toward the destination on a shortest path
+// (deterministic tie-break toward lower-numbered neighbors' ports), and the
+// host port at the attach switch itself. One reverse BFS per destination.
+func (c *Controller) destTree(attach topo.PortKey) map[topo.SwitchID]topo.PortID {
+	dist := map[topo.SwitchID]int{attach.Switch: 0}
+	order := []topo.SwitchID{attach.Switch}
+	for i := 0; i < len(order); i++ {
+		cur := order[i]
+		for _, nb := range c.Net.Neighbors(cur) {
+			if _, seen := dist[nb.Switch]; !seen {
+				dist[nb.Switch] = dist[cur] + 1
+				order = append(order, nb.Switch)
+			}
+		}
+	}
+	out := make(map[topo.SwitchID]topo.PortID, len(order))
+	out[attach.Switch] = attach.Port
+	for _, sw := range order[1:] {
+		best := topo.PortID(0)
+		for _, nb := range c.Net.Neighbors(sw) {
+			if dist[nb.Switch] == dist[sw]-1 && (best == 0 || nb.LocalPort < best) {
+				best = nb.LocalPort
+			}
+		}
+		out[sw] = best
+	}
+	return out
+}
+
+// RoutePrefix installs, on every switch that can reach it, a forwarding
+// rule sending dst-prefix traffic toward the attach port. Priority defaults
+// to the prefix length (longest-prefix-match semantics). It returns the
+// installed rule IDs keyed by switch.
+func (c *Controller) RoutePrefix(prefix flowtable.Prefix, attach topo.PortKey) (map[topo.SwitchID]uint64, error) {
+	tree := c.destTree(attach)
+	ids := make(map[topo.SwitchID]uint64, len(tree))
+	// Deterministic installation order.
+	sws := make([]topo.SwitchID, 0, len(tree))
+	for sw := range tree {
+		sws = append(sws, sw)
+	}
+	sort.Slice(sws, func(i, j int) bool { return sws[i] < sws[j] })
+	for _, sw := range sws {
+		id, err := c.InstallRule(sw, flowtable.Rule{
+			Priority: uint16(prefix.Len),
+			Match:    flowtable.Match{DstPrefix: prefix},
+			Action:   flowtable.ActOutput,
+			OutPort:  tree[sw],
+		})
+		if err != nil {
+			return ids, err
+		}
+		ids[sw] = id
+	}
+	return ids, nil
+}
+
+// RouteAllHosts installs /32 routes for every host on every switch —
+// the "ping each other to populate the flow tables with shortest-path
+// forwarding rules" setup of §6.1's fat-tree experiments.
+func (c *Controller) RouteAllHosts() error {
+	for _, h := range c.Net.Hosts() {
+		if _, err := c.RoutePrefix(flowtable.Prefix{IP: h.IP, Len: 32}, h.Attach); err != nil {
+			return fmt.Errorf("controller: routing host %s: %w", h.Name, err)
+		}
+	}
+	return nil
+}
+
+// InstallPathRules pins a traffic class to an explicit path: one rule per
+// hop, each constrained to the hop's input port so detours (middlebox
+// reflections included) stay unambiguous. Used by waypoint and
+// traffic-engineering policies. Returns installed rule IDs in path order.
+func (c *Controller) InstallPathRules(path topo.Path, match flowtable.Match, priority uint16) ([]uint64, error) {
+	ids := make([]uint64, 0, len(path))
+	for _, hop := range path {
+		m := match
+		m.InPort = hop.In
+		r := flowtable.Rule{Priority: priority, Match: m, Action: flowtable.ActOutput, OutPort: hop.Out}
+		if hop.Out == topo.DropPort {
+			r.Action = flowtable.ActDrop
+			r.OutPort = 0
+		}
+		id, err := c.InstallRule(hop.Switch, r)
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// WaypointPath computes a path from an edge port to an edge port that
+// detours through the given middlebox port: shortest path to the middlebox
+// switch, a reflection off the middlebox, then shortest path onward.
+func (c *Controller) WaypointPath(src, waypoint, dst topo.PortKey) (topo.Path, error) {
+	if c.Net.Switch(waypoint.Switch) == nil ||
+		c.Net.Switch(waypoint.Switch).Role(waypoint.Port) != topo.RoleMiddlebox {
+		return nil, fmt.Errorf("controller: %v is not a middlebox port", waypoint)
+	}
+	// Leg 1: src edge → middlebox switch, exiting into the middlebox.
+	leg1, err := c.switchLegPath(src, waypoint.Switch)
+	if err != nil {
+		return nil, err
+	}
+	leg1 = append(leg1, topo.Hop{
+		In:     c.legEntryPort(leg1, src),
+		Switch: waypoint.Switch,
+		Out:    waypoint.Port,
+	})
+	// Leg 2: re-entry from the middlebox → dst edge port.
+	reentry := topo.PortKey{Switch: waypoint.Switch, Port: waypoint.Port}
+	leg2, err := c.switchLegPath(reentry, dst.Switch)
+	if err != nil {
+		return nil, err
+	}
+	leg2 = append(leg2, topo.Hop{
+		In:     c.legEntryPort(leg2, reentry),
+		Switch: dst.Switch,
+		Out:    dst.Port,
+	})
+	return append(leg1, leg2...), nil
+}
+
+// switchLegPath returns the hops from a starting port to (but excluding)
+// the destination switch: the caller appends the final hop with the right
+// egress.
+func (c *Controller) switchLegPath(from topo.PortKey, toSwitch topo.SwitchID) (topo.Path, error) {
+	sws, ok := c.Net.SwitchPath(from.Switch, toSwitch)
+	if !ok {
+		return nil, fmt.Errorf("controller: no path from switch %d to %d", from.Switch, toSwitch)
+	}
+	var path topo.Path
+	in := from.Port
+	for i := 0; i+1 < len(sws); i++ {
+		out, ok := c.Net.LinkPort(sws[i], sws[i+1])
+		if !ok {
+			return nil, fmt.Errorf("controller: missing link %d→%d", sws[i], sws[i+1])
+		}
+		path = append(path, topo.Hop{In: in, Switch: sws[i], Out: out})
+		peer, _ := c.Net.Peer(topo.PortKey{Switch: sws[i], Port: out})
+		in = peer.Port
+	}
+	return path, nil
+}
+
+// legEntryPort determines the input port at the leg's final switch: the
+// peer of the last hop's egress, or the starting port if the leg is empty
+// (the path starts on the final switch).
+func (c *Controller) legEntryPort(leg topo.Path, start topo.PortKey) topo.PortID {
+	if len(leg) == 0 {
+		return start.Port
+	}
+	last := leg[len(leg)-1]
+	peer, _ := c.Net.Peer(topo.PortKey{Switch: last.Switch, Port: last.Out})
+	return peer.Port
+}
+
+// InstallWaypoint routes the traffic class through the middlebox with
+// per-hop pinned rules at the given priority — the Figure 2 policy.
+func (c *Controller) InstallWaypoint(match flowtable.Match, src, waypoint, dst topo.PortKey, priority uint16) ([]uint64, error) {
+	path, err := c.WaypointPath(src, waypoint, dst)
+	if err != nil {
+		return nil, err
+	}
+	return c.InstallPathRules(path, match, priority)
+}
+
+// InstallSplitRoute implements the Figure 3 traffic-engineering policy:
+// traffic from src to dst is split across up to maxPaths equal-cost paths,
+// each subclass pinned to its path. The classes slice assigns one match per
+// path (e.g. different source prefixes); len(classes) paths are installed.
+func (c *Controller) InstallSplitRoute(src, dst topo.PortKey, classes []flowtable.Match, priority uint16) ([][]uint64, error) {
+	paths, err := c.Net.ShortestPaths(src, dst, len(classes))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) < len(classes) {
+		return nil, fmt.Errorf("controller: only %d equal-cost paths for %d classes", len(paths), len(classes))
+	}
+	var all [][]uint64
+	for i, m := range classes {
+		ids, err := c.InstallPathRules(paths[i], m, priority)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, ids)
+	}
+	return all, nil
+}

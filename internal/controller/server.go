@@ -1,0 +1,261 @@
+// Server: the controller's southbound endpoint. It accepts switch
+// connections (usually spliced through the VeriDP proxy), tracks them by
+// announced switch ID, and implements the Installer interface over them —
+// so the same Controller compiles policies whether the data plane is
+// in-process or at the far end of a TCP channel.
+
+package controller
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"veridp/internal/flowtable"
+	"veridp/internal/openflow"
+	"veridp/internal/topo"
+)
+
+// Server accepts and serves switch connections.
+type Server struct {
+	// Timeout bounds Apply/Barrier waits for a switch connection and for
+	// barrier replies (default 10s).
+	Timeout time.Duration
+
+	mu       sync.Mutex
+	conns    map[topo.SwitchID]*openflow.Conn
+	barriers map[barrierKey]chan struct{}
+	dumps    map[barrierKey]chan []*flowtable.Rule
+	arrived  *sync.Cond
+	closed   bool
+	listener net.Listener
+}
+
+type barrierKey struct {
+	sw  topo.SwitchID
+	xid uint32
+}
+
+// NewServer returns an idle server; call Serve with a listener.
+func NewServer() *Server {
+	s := &Server{
+		Timeout:  10 * time.Second,
+		conns:    make(map[topo.SwitchID]*openflow.Conn),
+		barriers: make(map[barrierKey]chan struct{}),
+		dumps:    make(map[barrierKey]chan []*flowtable.Rule),
+	}
+	s.arrived = sync.NewCond(&s.mu)
+	return s
+}
+
+// Serve accepts switch connections until Close. Always returns a non-nil
+// error.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveConn(c)
+	}
+}
+
+// Close shuts the listener and every switch connection.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for _, c := range s.conns {
+		c.Close()
+	}
+	s.arrived.Broadcast()
+}
+
+func (s *Server) serveConn(raw net.Conn) {
+	defer raw.Close()
+	c := openflow.NewConn(raw)
+	sw, err := c.RecvHello()
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[sw] = c
+	s.arrived.Broadcast()
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		if s.conns[sw] == c {
+			delete(s.conns, sw)
+		}
+		s.mu.Unlock()
+	}()
+
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case openflow.TypeBarrierReply:
+			s.mu.Lock()
+			if ch, ok := s.barriers[barrierKey{sw, m.Xid}]; ok {
+				close(ch)
+				delete(s.barriers, barrierKey{sw, m.Xid})
+			}
+			s.mu.Unlock()
+		case openflow.TypeTableDumpReply:
+			rules, err := openflow.UnmarshalTableDump(m.Body)
+			s.mu.Lock()
+			if ch, ok := s.dumps[barrierKey{sw, m.Xid}]; ok {
+				if err == nil {
+					ch <- rules
+				}
+				close(ch)
+				delete(s.dumps, barrierKey{sw, m.Xid})
+			}
+			s.mu.Unlock()
+		case openflow.TypeEchoRequest:
+			c.Send(&openflow.Message{Type: openflow.TypeEchoReply, Xid: m.Xid, Body: m.Body})
+		default:
+			// Errors and stray messages are tolerated; a real controller
+			// would log them.
+		}
+	}
+}
+
+// WaitForSwitches blocks until every listed switch has connected (or the
+// server's timeout elapses).
+func (s *Server) WaitForSwitches(ids []topo.SwitchID) error {
+	deadline := time.Now().Add(s.Timeout)
+	// A timer wakes the condition variable so waits can expire.
+	t := time.AfterFunc(s.Timeout, func() {
+		s.mu.Lock()
+		s.arrived.Broadcast()
+		s.mu.Unlock()
+	})
+	defer t.Stop()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		missing := 0
+		for _, id := range ids {
+			if s.conns[id] == nil {
+				missing++
+			}
+		}
+		if missing == 0 {
+			return nil
+		}
+		if s.closed {
+			return fmt.Errorf("controller: server closed while waiting for switches")
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("controller: %d switches missing after %v", missing, s.Timeout)
+		}
+		s.arrived.Wait()
+	}
+}
+
+// conn fetches the connection for a switch.
+func (s *Server) conn(sw topo.SwitchID) (*openflow.Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.conns[sw]
+	if c == nil {
+		return nil, fmt.Errorf("controller: switch %d not connected", sw)
+	}
+	return c, nil
+}
+
+// Apply sends the FlowMod to its target switch.
+func (s *Server) Apply(f *openflow.FlowMod) error {
+	c, err := s.conn(f.Switch)
+	if err != nil {
+		return err
+	}
+	_, err = c.SendFlowMod(f)
+	return err
+}
+
+// Barrier sends a BarrierRequest and waits for the matching reply.
+func (s *Server) Barrier(sw topo.SwitchID) error {
+	c, err := s.conn(sw)
+	if err != nil {
+		return err
+	}
+	ch := make(chan struct{})
+	xid := c.NextXid()
+	s.mu.Lock()
+	s.barriers[barrierKey{sw, xid}] = ch
+	s.mu.Unlock()
+	if err := c.Send(&openflow.Message{Type: openflow.TypeBarrierRequest, Xid: xid}); err != nil {
+		s.mu.Lock()
+		delete(s.barriers, barrierKey{sw, xid})
+		s.mu.Unlock()
+		return err
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-time.After(s.Timeout):
+		s.mu.Lock()
+		delete(s.barriers, barrierKey{sw, xid})
+		s.mu.Unlock()
+		return fmt.Errorf("controller: barrier timeout on switch %d", sw)
+	}
+}
+
+// DumpTable fetches the switch's full physical flow table — the §3.1
+// "checking flow tables" design option. Expensive by construction: the
+// entire table crosses the wire on every audit.
+func (s *Server) DumpTable(sw topo.SwitchID) ([]*flowtable.Rule, error) {
+	c, err := s.conn(sw)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan []*flowtable.Rule, 1)
+	xid := c.NextXid()
+	s.mu.Lock()
+	s.dumps[barrierKey{sw, xid}] = ch
+	s.mu.Unlock()
+	if err := c.Send(&openflow.Message{Type: openflow.TypeTableDumpRequest, Xid: xid}); err != nil {
+		s.mu.Lock()
+		delete(s.dumps, barrierKey{sw, xid})
+		s.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case rules, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("controller: undecodable table dump from switch %d", sw)
+		}
+		return rules, nil
+	case <-time.After(s.Timeout):
+		s.mu.Lock()
+		delete(s.dumps, barrierKey{sw, xid})
+		s.mu.Unlock()
+		return nil, fmt.Errorf("controller: table dump timeout on switch %d", sw)
+	}
+}
+
+// PacketOut asks the switch to emit a frame on a port.
+func (s *Server) PacketOut(sw topo.SwitchID, port topo.PortID, data []byte) error {
+	c, err := s.conn(sw)
+	if err != nil {
+		return err
+	}
+	return c.SendPacketOut(&openflow.PacketOut{Port: port, Data: data})
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"veridp/internal/bloom"
+	"veridp/internal/controller"
+	"veridp/internal/dataplane"
+	"veridp/internal/faults"
+	"veridp/internal/flowtable"
+	"veridp/internal/header"
+	"veridp/internal/topo"
+)
+
+// pingMesh is a local copy of traffic.PingMesh (importing traffic from a
+// core test would cycle).
+func pingMesh(n *topo.Network) []header.Header {
+	hosts := n.Hosts()
+	var out []header.Header
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src != dst {
+				out = append(out, header.Header{SrcIP: src.IP, DstIP: dst.IP, Proto: header.ProtoICMP})
+			}
+		}
+	}
+	return out
+}
+
+// TestBloomTagsPruneCandidates quantifies the §3.3 design argument: with
+// per-hop Bloom membership tests, PathInfer narrows to (usually) exactly
+// the real path; the hash-tag-equivalent blind search returns strictly
+// more candidates, and the Bloom candidates are always a subset.
+func TestBloomTagsPruneCandidates(t *testing.T) {
+	n := topo.FatTree(4)
+	f := dataplane.NewFabric(n)
+	c := controller.New(n, &dataplane.FabricInstaller{Fabric: f})
+	if err := c.RouteAllHosts(); err != nil {
+		t.Fatal(err)
+	}
+	pt := (&Builder{Net: n, Space: header.NewSpace(), Params: bloom.DefaultParams, Configs: c.Logical()}).Build()
+
+	rng := rand.New(rand.NewSource(31))
+	var bloomTotal, blindTotal, cases int
+	for round := 0; round < 10; round++ {
+		sw, ruleID, ok := faults.RandomRule(f, rng)
+		if !ok {
+			t.Fatal("no rules")
+		}
+		inj, err := faults.WrongPort(f, sw, ruleID, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, hdr := range pingMesh(n) {
+			res, err := f.Inject(n.HostByIP(hdr.SrcIP).Attach, hdr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rep := range res.Reports {
+				if pt.Verify(rep).OK {
+					continue
+				}
+				cases++
+				guided := pt.PathInfer(rep)
+				blind := pt.PathInferBlind(rep)
+				bloomTotal += len(guided)
+				blindTotal += len(blind)
+				if len(guided) > len(blind) {
+					t.Fatalf("guided search returned MORE candidates (%d) than blind (%d)", len(guided), len(blind))
+				}
+				// Every guided candidate appears in the blind set: the
+				// Bloom test only prunes, never invents.
+				for _, g := range guided {
+					found := false
+					for _, bl := range blind {
+						if samePath(g, bl) {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("guided candidate %v missing from blind set", g)
+					}
+				}
+			}
+		}
+		// Restore.
+		if err := f.Switch(sw).Config.Table.Modify(ruleID, func(r *flowtable.Rule) { r.OutPort = inj.OldPort }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cases == 0 {
+		t.Skip("no fault round produced failures")
+	}
+	avgBloom := float64(bloomTotal) / float64(cases)
+	avgBlind := float64(blindTotal) / float64(cases)
+	// The subset relation is asserted per case above; on small topologies
+	// the blind search can tie, but it must never be narrower.
+	if avgBloom > avgBlind {
+		t.Fatalf("Bloom pruning hurt: %.2f vs %.2f candidates/case", avgBloom, avgBlind)
+	}
+	t.Logf("candidates per failed report: Bloom-guided %.2f, hash-tag-blind %.2f (%d cases)", avgBloom, avgBlind, cases)
+}

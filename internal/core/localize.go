@@ -1,0 +1,218 @@
+// Fault localization (§4.3). When verification fails, the server infers
+// which switch misforwarded. The strawman walks the intended path and
+// blames the first hop whose Bloom element is absent from the tag — but a
+// Bloom false positive on the actually-faulty hop shifts the blame
+// downstream. Algorithm 4 (PathInfer) repairs this by requiring a complete,
+// tag-consistent path to the reported exit before accepting a hypothesis,
+// backtracking through every suffix of the intended path.
+
+package core
+
+import (
+	"veridp/internal/bloom"
+	"veridp/internal/header"
+	"veridp/internal/packet"
+	"veridp/internal/topo"
+)
+
+// IntendedPath computes the path the control plane intends for a concrete
+// header entering at the given port — Algorithm 4's GetPath — by walking
+// the logical switch configurations, applying any header rewrites along
+// the way. The walk stops at an edge port, the ⊥ port, a dead end, or when
+// the hop budget (a loop guard) runs out.
+//
+// Localization caveat (inherited from the paper's no-rewrite scope): the
+// report carries the header observed at the exit, so IntendedPath — and
+// therefore PathInfer — is exact only for flows whose headers were not
+// rewritten in flight.
+func (pt *PathTable) IntendedPath(at topo.PortKey, h header.Header) topo.Path {
+	var path topo.Path
+	cur := at
+	for budget := pt.Net.MaxPathLength(); budget > 0; budget-- {
+		cfg, ok := pt.Configs[cur.Switch]
+		if !ok {
+			return path
+		}
+		out, rw := cfg.Forward(cur.Port, h)
+		h = rw.Apply(h)
+		path = append(path, topo.Hop{In: cur.Port, Switch: cur.Switch, Out: out})
+		outKey := topo.PortKey{Switch: cur.Switch, Port: out}
+		if out == topo.DropPort || pt.Net.IsEdgePort(outKey) {
+			return path
+		}
+		next, ok := pt.Net.Peer(outKey)
+		if !ok {
+			return path
+		}
+		cur = next
+	}
+	return path
+}
+
+// hopInTag tests BF(hop) ⊓ tag == BF(hop).
+func (pt *PathTable) hopInTag(hop topo.Hop, tag bloom.Tag) bool {
+	return tag.Contains(pt.Params.Hash(hop.Bytes()))
+}
+
+// foldPath recomputes the tag a packet accumulates along a path.
+func (pt *PathTable) foldPath(p topo.Path) bloom.Tag {
+	var t bloom.Tag
+	for _, hop := range p {
+		t = t.Union(pt.Params.Hash(hop.Bytes()))
+	}
+	return t
+}
+
+// StrawmanLocalize blames the first intended hop missing from the tag
+// (§4.3's rejected baseline, kept for the ablation benchmarks). ok=false
+// means every intended hop passed the set test, so no switch can be blamed.
+func (pt *PathTable) StrawmanLocalize(r *packet.Report) (topo.SwitchID, bool) {
+	for _, hop := range pt.IntendedPath(r.Inport, r.Header) {
+		if !pt.hopInTag(hop, r.Tag) {
+			return hop.Switch, true
+		}
+	}
+	return 0, false
+}
+
+// PathInfer implements Algorithm 4: reconstruct every path consistent with
+// the report's tag that starts on a prefix of the intended path, deviates
+// at one switch, follows intended forwarding afterwards, and ends at the
+// reported exit. Beyond the paper's per-hop membership tests, each
+// candidate must also reproduce the reported tag exactly when folded —
+// sound because tagging is deterministic, and it eliminates the spurious
+// candidates (including the intended path itself) that small filters'
+// false positives would otherwise admit. The returned candidate paths let
+// the operator pinpoint the deviating switch (FaultySwitch).
+func (pt *PathTable) PathInfer(r *packet.Report) []topo.Path {
+	intended := pt.IntendedPath(r.Inport, r.Header)
+
+	// Phase 1: the longest intended prefix consistent with the tag,
+	// including the first failing hop (Algorithm 4 lines 4-7).
+	var comPath topo.Path
+	for _, hop := range intended {
+		comPath = append(comPath, hop)
+		if !pt.hopInTag(hop, r.Tag) {
+			break
+		}
+	}
+
+	// Phase 2: backtrack, replacing the last hop with every tag-consistent
+	// deviation and extending along intended forwarding (lines 8-22).
+	var pathset []topo.Path
+	for len(comPath) > 0 {
+		devHop := comPath[len(comPath)-1]
+		comPath = comPath[:len(comPath)-1]
+		s, x := devHop.Switch, devHop.In
+
+		outs := append(pt.Net.Switch(s).Ports(), topo.DropPort)
+		for _, y := range outs {
+			alt := topo.Hop{In: x, Switch: s, Out: y}
+			if !pt.hopInTag(alt, r.Tag) {
+				continue
+			}
+			if dev, ok := pt.replayDeviation(r, s, x, y, len(comPath)); ok {
+				cand := concatPath(comPath, dev)
+				if pt.foldPath(cand) == r.Tag {
+					pathset = append(pathset, cand)
+				}
+			}
+		}
+	}
+	return pathset
+}
+
+// replayDeviation tests the hypothesis "switch s misforwards this header to
+// port y" by replaying forwarding from ⟨s, x⟩: the deviating switch always
+// outputs y (rule faults ignore the input port), every other switch follows
+// its logical configuration, and the walk carries Algorithm 1's TTL so that
+// forwarding loops reconstruct exactly up to the hop where the data plane
+// reported TTL expiry. hopsBefore is the number of hops already consumed by
+// the common prefix. It returns the deviated suffix and whether the replay
+// ends at the reported exit with every hop tag-consistent.
+func (pt *PathTable) replayDeviation(r *packet.Report, s topo.SwitchID, x, y topo.PortID, hopsBefore int) (topo.Path, bool) {
+	maxHops := pt.Net.MaxPathLength()
+	var dev topo.Path
+	cur := topo.PortKey{Switch: s, Port: x}
+	total := hopsBefore
+
+	h := r.Header
+	for total < maxHops {
+		var out topo.PortID
+		if cur.Switch == s {
+			out = y // the hypothesized fault
+		} else {
+			cfg, ok := pt.Configs[cur.Switch]
+			if !ok {
+				return nil, false
+			}
+			var rw *header.Rewrite
+			out, rw = cfg.Forward(cur.Port, h)
+			h = rw.Apply(h)
+		}
+		hop := topo.Hop{In: cur.Port, Switch: cur.Switch, Out: out}
+		if !pt.hopInTag(hop, r.Tag) {
+			return nil, false // inconsistent with the evidence: dismiss
+		}
+		dev = append(dev, hop)
+		total++
+		outKey := topo.PortKey{Switch: cur.Switch, Port: out}
+		if out == topo.DropPort || pt.Net.IsEdgePort(outKey) {
+			return dev, outKey == r.Outport
+		}
+		if total >= maxHops {
+			// TTL expired here — matches reports from looping packets.
+			return dev, outKey == r.Outport
+		}
+		next, ok := pt.Net.Peer(outKey)
+		if !ok {
+			return dev, outKey == r.Outport // packet left the network here
+		}
+		cur = next
+	}
+	return nil, false
+}
+
+// concatPath returns a fresh slice holding a followed by b.
+func concatPath(a, b topo.Path) topo.Path {
+	out := make(topo.Path, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// FaultySwitch compares an intended path with a (recovered or ground-truth)
+// real path and returns the switch at the first deviation — the switch to
+// blame. ok=false means the paths agree entirely.
+func FaultySwitch(intended, real topo.Path) (topo.SwitchID, bool) {
+	n := len(intended)
+	if len(real) < n {
+		n = len(real)
+	}
+	for i := 0; i < n; i++ {
+		if intended[i] != real[i] {
+			return real[i].Switch, true
+		}
+	}
+	if len(real) != len(intended) {
+		// One path is a strict prefix of the other: the divergence is at
+		// the first unmatched hop.
+		if len(real) > n {
+			return real[n].Switch, true
+		}
+		return intended[n].Switch, true
+	}
+	return 0, false
+}
+
+// Localize is the convenience entry point the server uses on a failed
+// verdict: run PathInfer and, if any candidate real path was recovered,
+// name the deviating switch of the first candidate.
+func (pt *PathTable) Localize(r *packet.Report) (sw topo.SwitchID, candidates []topo.Path, ok bool) {
+	candidates = pt.PathInfer(r)
+	if len(candidates) == 0 {
+		return 0, nil, false
+	}
+	intended := pt.IntendedPath(r.Inport, r.Header)
+	sw, ok = FaultySwitch(intended, candidates[0])
+	return sw, candidates, ok
+}

@@ -1,0 +1,287 @@
+// Package core implements VeriDP's verification server: the path table
+// (§3.4), its construction from control-plane configurations via
+// Algorithm 2, tag-report verification via Algorithm 3, Bloom-filter-guided
+// fault localization via Algorithm 4 (plus the strawman baseline §4.3
+// rejects), and the incremental path-table update of §4.4.
+//
+// The path table maps an ⟨inport, outport⟩ pair to the list of paths a
+// packet may legitimately take between those edge ports. Each path entry
+// holds the BDD of admissible headers, the hop sequence, and the
+// Bloom-filter tag a correctly-forwarded packet accumulates.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"veridp/internal/bdd"
+	"veridp/internal/bloom"
+	"veridp/internal/flowtable"
+	"veridp/internal/header"
+	"veridp/internal/topo"
+)
+
+// PathEntry is one path of the path table: ⟨headers, path, tag⟩.
+type PathEntry struct {
+	// Headers is the set of packet headers admitted along this path.
+	Headers bdd.Ref
+	// Path is the hop sequence from entry to exit.
+	Path topo.Path
+	// Tag is the Bloom fold of the path's hops.
+	Tag bloom.Tag
+
+	deleted bool
+}
+
+// String renders the entry compactly.
+func (e *PathEntry) String() string {
+	return fmt.Sprintf("{path %v tag %v}", e.Path, e.Tag)
+}
+
+// tableKey indexes the path table by entry and exit port.
+type tableKey struct {
+	In  topo.PortKey
+	Out topo.PortKey
+}
+
+// arrival records that, during Algorithm 2's recursive search, the header
+// set Headers reached switch-port At having entered the network at Inport
+// and traversed Prefix so far. §4.4's path-entry update replays forwarding
+// from these records when a rule changes a switch's behavior.
+type arrival struct {
+	Inport  topo.PortKey
+	At      topo.PortID
+	Headers bdd.Ref
+	Prefix  topo.Path
+	Tag     bloom.Tag
+
+	deleted bool
+}
+
+// PathTable is the verification server's model of the control plane.
+// Methods are not safe for concurrent use; the server serializes
+// verification and updates (the paper's prototype is single-threaded too,
+// §6.4).
+type PathTable struct {
+	Net    *topo.Network
+	Space  *header.Space
+	Params bloom.Params
+
+	// Configs is the logical (control-plane) configuration used to compute
+	// intended paths during localization.
+	Configs map[topo.SwitchID]*flowtable.SwitchConfig
+
+	entries map[tableKey][]*PathEntry
+
+	// hopIndex lists entries whose path exits through a given switch port
+	// (including ⊥ exits), for §4.4's "paths that pass port y" step.
+	hopIndex map[topo.PortKey][]*PathEntry
+
+	// arrivals and arrivalIndex support incremental re-traversal: arrivals
+	// by switch, and by hops of their prefixes for shrinking.
+	arrivals     map[topo.SwitchID][]*arrival
+	arrivalIndex map[topo.PortKey][]*arrival
+
+	// transfer caches every switch's guarded transfer functions from build
+	// time; incremental updates patch the plain (nil-rewrite) guards
+	// (valid under §4.4's no-ACL, no-rewrite assumption).
+	transfer map[topo.SwitchID]map[flowtable.PortPair][]flowtable.TransferEntry
+}
+
+// Pairs returns the number of ⟨inport, outport⟩ pairs with at least one
+// path — the "# entries" column of Table 2.
+func (pt *PathTable) Pairs() int {
+	n := 0
+	for k := range pt.entries {
+		if len(pt.live(k)) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// live returns the non-deleted entries for a key, compacting in place.
+func (pt *PathTable) live(k tableKey) []*PathEntry {
+	es := pt.entries[k]
+	out := es[:0]
+	for _, e := range es {
+		if !e.deleted {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		delete(pt.entries, k)
+		return nil
+	}
+	pt.entries[k] = out
+	return out
+}
+
+// NumPaths returns the total number of paths — Table 2's "# paths".
+func (pt *PathTable) NumPaths() int {
+	n := 0
+	for k := range pt.entries {
+		n += len(pt.live(k))
+	}
+	return n
+}
+
+// AvgPathLength returns the mean number of hops per path — Table 2's
+// "avg. path len.".
+func (pt *PathTable) AvgPathLength() float64 {
+	paths, hops := 0, 0
+	for k := range pt.entries {
+		for _, e := range pt.live(k) {
+			paths++
+			hops += len(e.Path)
+		}
+	}
+	if paths == 0 {
+		return 0
+	}
+	return float64(hops) / float64(paths)
+}
+
+// PathsPerPair returns the path count of every populated pair, sorted
+// ascending — the distribution Figure 6 plots.
+func (pt *PathTable) PathsPerPair() []int {
+	var out []int
+	for k := range pt.entries {
+		if n := len(pt.live(k)); n > 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Lookup returns the live paths for an ⟨inport, outport⟩ pair. It is
+// read-only (no compaction), so Lookup and Verify may run concurrently
+// from many goroutines as long as no update (ApplyDelta, SetParams,
+// Compact) runs at the same time — the multi-threaded verification the
+// paper's §6.4 anticipates. The common no-deletions case returns the
+// internal slice without allocating.
+func (pt *PathTable) Lookup(in, out topo.PortKey) []*PathEntry {
+	es := pt.entries[tableKey{in, out}]
+	clean := true
+	for _, e := range es {
+		if e.deleted {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return es
+	}
+	out2 := make([]*PathEntry, 0, len(es))
+	for _, e := range es {
+		if !e.deleted {
+			out2 = append(out2, e)
+		}
+	}
+	return out2
+}
+
+// Entries invokes fn for every live entry; fn must not mutate the table.
+func (pt *PathTable) Entries(fn func(in, out topo.PortKey, e *PathEntry)) {
+	keys := make([]tableKey, 0, len(pt.entries))
+	for k := range pt.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.In != b.In {
+			if a.In.Switch != b.In.Switch {
+				return a.In.Switch < b.In.Switch
+			}
+			return a.In.Port < b.In.Port
+		}
+		if a.Out.Switch != b.Out.Switch {
+			return a.Out.Switch < b.Out.Switch
+		}
+		return a.Out.Port < b.Out.Port
+	})
+	for _, k := range keys {
+		for _, e := range pt.live(k) {
+			fn(k.In, k.Out, e)
+		}
+	}
+}
+
+// addPath inserts a path entry, merging header sets when the identical hop
+// sequence is already present for the pair (which only happens during
+// incremental updates).
+func (pt *PathTable) addPath(in, out topo.PortKey, headers bdd.Ref, path topo.Path, tag bloom.Tag) *PathEntry {
+	k := tableKey{in, out}
+	for _, e := range pt.live(k) {
+		if samePath(e.Path, path) {
+			e.Headers = pt.Space.T.Or(e.Headers, headers)
+			return e
+		}
+	}
+	e := &PathEntry{Headers: headers, Path: append(topo.Path(nil), path...), Tag: tag}
+	pt.entries[k] = append(pt.entries[k], e)
+	for _, hop := range e.Path {
+		pk := topo.PortKey{Switch: hop.Switch, Port: hop.Out}
+		pt.hopIndex[pk] = append(pt.hopIndex[pk], e)
+	}
+	return e
+}
+
+// addArrival records a traversal arrival for incremental updates.
+func (pt *PathTable) addArrival(sw topo.SwitchID, a *arrival) {
+	pt.arrivals[sw] = append(pt.arrivals[sw], a)
+	for _, hop := range a.Prefix {
+		pk := topo.PortKey{Switch: hop.Switch, Port: hop.Out}
+		pt.arrivalIndex[pk] = append(pt.arrivalIndex[pk], a)
+	}
+}
+
+// samePath compares hop sequences.
+func samePath(a, b topo.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SetParams re-derives every tag (entries and traversal arrivals) under a
+// new Bloom configuration — the Figure 12 experiment sweeps tag sizes
+// without re-running Algorithm 2, since tags are a pure fold of each path.
+func (pt *PathTable) SetParams(p bloom.Params) {
+	pt.Params = p
+	fold := func(path topo.Path) bloom.Tag {
+		var t bloom.Tag
+		for _, hop := range path {
+			t = t.Union(p.Hash(hop.Bytes()))
+		}
+		return t
+	}
+	for _, es := range pt.entries {
+		for _, e := range es {
+			e.Tag = fold(e.Path)
+		}
+	}
+	for _, as := range pt.arrivals {
+		for _, a := range as {
+			a.Tag = fold(a.Prefix)
+		}
+	}
+}
+
+// Stats summarizes the table for Table 2.
+type Stats struct {
+	Pairs         int
+	Paths         int
+	AvgPathLength float64
+}
+
+// Stats computes the summary.
+func (pt *PathTable) Stats() Stats {
+	return Stats{Pairs: pt.Pairs(), Paths: pt.NumPaths(), AvgPathLength: pt.AvgPathLength()}
+}

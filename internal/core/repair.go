@@ -1,0 +1,102 @@
+// Automatic flow-table repair — the paper's future work item (2):
+// "designing a method that can automatically repair the flow table of a
+// faulty switch, in order to resolve the inconsistency with minimal human
+// interaction" (§8).
+//
+// The repair is conservative: after localization names a switch, the plan
+// re-asserts the logical rule the failing packet should have matched there
+// — a delete (tolerated if the rule is already gone) followed by a fresh
+// add of the controller's version. This single primitive fixes every §2.2
+// fault class that manifests as a corrupted or missing rule: wrong output
+// port, blackholed action, out-of-band modification, and eviction.
+
+package core
+
+import (
+	"fmt"
+
+	"veridp/internal/flowtable"
+	"veridp/internal/openflow"
+	"veridp/internal/packet"
+	"veridp/internal/topo"
+)
+
+// RuleInstaller is the slice of the southbound API repair needs; both the
+// in-process FabricInstaller and the TCP controller server satisfy it.
+type RuleInstaller interface {
+	Apply(f *openflow.FlowMod) error
+}
+
+// RepairPlan re-asserts logical rules on one switch.
+type RepairPlan struct {
+	Switch topo.SwitchID
+	// Rules are the controller's versions to re-assert (IDs preserved).
+	Rules []flowtable.Rule
+}
+
+// PlanRepair localizes the failure and plans the re-assertion. It returns
+// an error when localization fails or when the blamed switch has no
+// logical rule for the packet (nothing to re-assert; the fault is an
+// extraneous physical rule that needs operator attention).
+func (pt *PathTable) PlanRepair(r *packet.Report) (*RepairPlan, error) {
+	blamed, _, ok := pt.Localize(r)
+	if !ok {
+		return nil, fmt.Errorf("core: cannot repair: no candidate path recovered")
+	}
+	// The input port at the blamed switch along the intended path.
+	intended := pt.IntendedPath(r.Inport, r.Header)
+	var in topo.PortID
+	found := false
+	for _, hop := range intended {
+		if hop.Switch == blamed {
+			in, found = hop.In, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("core: blamed switch %d is not on the intended path", blamed)
+	}
+	cfg, ok := pt.Configs[blamed]
+	if !ok {
+		return nil, fmt.Errorf("core: no logical configuration for switch %d", blamed)
+	}
+	rule := cfg.Table.Lookup(in, r.Header)
+	if rule == nil {
+		return nil, fmt.Errorf("core: switch %d has no logical rule for %v — extraneous physical state, manual repair needed", blamed, r.Header)
+	}
+	return &RepairPlan{Switch: blamed, Rules: []flowtable.Rule{*rule}}, nil
+}
+
+// Apply pushes the plan through the southbound channel: delete (ignoring
+// "no such rule") then re-add the logical version.
+func (p *RepairPlan) Apply(inst RuleInstaller) error {
+	for _, r := range p.Rules {
+		// Best-effort delete: an evicted rule is already gone.
+		_ = inst.Apply(&openflow.FlowMod{
+			Command: openflow.FlowDelete,
+			Switch:  p.Switch,
+			RuleID:  r.ID,
+		})
+		if err := inst.Apply(&openflow.FlowMod{
+			Command: openflow.FlowAdd,
+			Switch:  p.Switch,
+			RuleID:  r.ID,
+			Rule:    r,
+		}); err != nil {
+			return fmt.Errorf("core: repair of rule %d on switch %d: %w", r.ID, p.Switch, err)
+		}
+	}
+	return nil
+}
+
+// Repair is the one-shot convenience: plan and apply.
+func (pt *PathTable) Repair(r *packet.Report, inst RuleInstaller) (*RepairPlan, error) {
+	plan, err := pt.PlanRepair(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Apply(inst); err != nil {
+		return plan, err
+	}
+	return plan, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"veridp/internal/dataplane"
+	"veridp/internal/flowtable"
+	"veridp/internal/header"
+	"veridp/internal/packet"
+	"veridp/internal/topo"
+)
+
+// driveAndRepair injects the flow, expects a verification failure, runs
+// the repair, and asserts the next packet verifies.
+func driveAndRepair(t *testing.T, f *dataplane.Fabric, pt *PathTable, src string, h header.Header) *RepairPlan {
+	t.Helper()
+	res, err := f.InjectFromHost(src, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) == 0 {
+		t.Fatalf("no report (outcome %v)", res.Outcome)
+	}
+	rep := res.Reports[len(res.Reports)-1]
+	if pt.Verify(rep).OK {
+		t.Fatal("fault escaped verification")
+	}
+	plan, err := pt.Repair(rep, &dataplane.FabricInstaller{Fabric: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same flow must now verify end to end.
+	res, err = f.InjectFromHost(src, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != dataplane.OutcomeDelivered && res.Outcome != dataplane.OutcomeDropped {
+		t.Fatalf("post-repair outcome %v", res.Outcome)
+	}
+	for _, r := range res.Reports {
+		if v := pt.Verify(r); !v.OK {
+			t.Fatalf("still inconsistent after repair: %v", v.Reason)
+		}
+	}
+	return plan
+}
+
+func TestRepairWrongPort(t *testing.T) {
+	n := topo.Figure5()
+	f, c, ids := figure5Rules(t, n)
+	pt := buildTable(n, c)
+	s1 := n.SwitchByName("S1").ID
+	if err := f.Switch(s1).Config.Table.Modify(ids["r3"], func(r *flowtable.Rule) { r.OutPort = 4 }); err != nil {
+		t.Fatal(err)
+	}
+	ssh := header.Header{SrcIP: ip("10.0.1.1"), DstIP: ip("10.0.2.1"), Proto: header.ProtoTCP, DstPort: 22}
+	plan := driveAndRepair(t, f, pt, "H1", ssh)
+	if plan.Switch != s1 || len(plan.Rules) != 1 || plan.Rules[0].ID != ids["r3"] {
+		t.Fatalf("plan %+v", plan)
+	}
+	// The physical rule equals the logical one again.
+	phys := f.Switch(s1).Config.Table.Get(ids["r3"])
+	if phys == nil || phys.OutPort != 3 {
+		t.Fatalf("physical rule after repair: %+v", phys)
+	}
+}
+
+func TestRepairBlackhole(t *testing.T) {
+	n := topo.Figure5()
+	f, c, ids := figure5Rules(t, n)
+	pt := buildTable(n, c)
+	s1 := n.SwitchByName("S1").ID
+	if err := f.Switch(s1).Config.Table.Modify(ids["r4"], func(r *flowtable.Rule) { r.Action = flowtable.ActDrop }); err != nil {
+		t.Fatal(err)
+	}
+	web := header.Header{SrcIP: ip("10.0.1.1"), DstIP: ip("10.0.2.1"), Proto: header.ProtoTCP, DstPort: 80}
+	driveAndRepair(t, f, pt, "H1", web)
+}
+
+func TestRepairEviction(t *testing.T) {
+	n := topo.Figure5()
+	f, c, ids := figure5Rules(t, n)
+	pt := buildTable(n, c)
+	s1 := n.SwitchByName("S1").ID
+	// The SSH redirect vanishes; SSH falls through to the direct route.
+	if err := f.Switch(s1).Config.Table.Delete(ids["r3"]); err != nil {
+		t.Fatal(err)
+	}
+	ssh := header.Header{SrcIP: ip("10.0.1.1"), DstIP: ip("10.0.2.1"), Proto: header.ProtoTCP, DstPort: 22}
+	driveAndRepair(t, f, pt, "H1", ssh)
+	if f.Switch(s1).Config.Table.Get(ids["r3"]) == nil {
+		t.Fatal("evicted rule not re-installed")
+	}
+}
+
+func TestPlanRepairErrors(t *testing.T) {
+	n := topo.Figure5()
+	_, c, _ := figure5Rules(t, n)
+	pt := buildTable(n, c)
+	// A report with no recoverable candidates.
+	bogus := &packet.Report{
+		Inport:  topo.PortKey{Switch: 77, Port: 1},
+		Outport: topo.PortKey{Switch: 78, Port: 1},
+	}
+	if _, err := pt.PlanRepair(bogus); err == nil {
+		t.Fatal("repair planned for an unlocalizable report")
+	}
+}

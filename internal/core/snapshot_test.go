@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"veridp/internal/controller"
+
+	"veridp/internal/dataplane"
+	"veridp/internal/flowtable"
+	"veridp/internal/header"
+	"veridp/internal/topo"
+)
+
+func TestSnapshotRoundTripFigure5(t *testing.T) {
+	n := topo.Figure5()
+	f, c, ids := figure5Rules(t, n)
+	pt := buildTable(n, c)
+
+	var buf bytes.Buffer
+	if err := pt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural equality.
+	a, b := pt.Stats(), loaded.Stats()
+	if a != b {
+		t.Fatalf("stats diverged: %+v vs %+v", a, b)
+	}
+
+	// Behavioral equality: healthy traffic verifies; a fault is detected,
+	// localized, and repairable through the loaded table.
+	ssh := header.Header{SrcIP: ip("10.0.1.1"), DstIP: ip("10.0.2.1"), Proto: header.ProtoTCP, DstPort: 22}
+	res, err := f.InjectFromHost("H1", ssh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := loaded.Verify(res.Reports[0]); !v.OK {
+		t.Fatalf("loaded table rejects healthy traffic: %v", v.Reason)
+	}
+
+	s1 := n.SwitchByName("S1").ID
+	if err := f.Switch(s1).Config.Table.Modify(ids["r3"], func(r *flowtable.Rule) { r.OutPort = 4 }); err != nil {
+		t.Fatal(err)
+	}
+	res, err = f.InjectFromHost("H1", ssh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := loaded.Verify(res.Reports[0]); v.OK {
+		t.Fatal("loaded table missed a fault")
+	}
+	sw, _, ok := loaded.Localize(res.Reports[0])
+	if !ok || sw != s1 {
+		t.Fatalf("loaded table localization: %d, %v", sw, ok)
+	}
+	if _, err := loaded.Repair(res.Reports[0], &dataplane.FabricInstaller{Fabric: f}); err != nil {
+		t.Fatalf("repair through loaded table: %v", err)
+	}
+}
+
+// TestSnapshotSupportsIncrementalUpdates: the restored arrivals and
+// transfer functions keep §4.4's ApplyDelta working.
+func TestSnapshotSupportsIncrementalUpdates(t *testing.T) {
+	n := topo.Linear(3, 1)
+	f := dataplane.NewFabric(n)
+	c := controller.New(n, &dataplane.FabricInstaller{Fabric: f})
+	if err := c.RouteAllHosts(); err != nil {
+		t.Fatal(err)
+	}
+	pt := buildTable(n, c)
+
+	var buf bytes.Buffer
+	if err := pt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Add a prefix rule incrementally on the loaded table.
+	mid := n.SwitchByName("s2")
+	tree := flowtable.NewPrefixTree(loaded.Space, mid.Ports())
+	for _, r := range c.Logical()[mid.ID].Table.Rules() {
+		if _, _, err := tree.Insert(r.Match.DstPrefix, r.OutPort); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pfx := flowtable.Prefix{IP: ip("42.42.0.0"), Len: 16}
+	_, delta, err := tree.Insert(pfx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.ApplyDelta(mid.ID, delta); err != nil {
+		t.Fatal(err)
+	}
+	// The new space flows to s3's side... the delta moved 42.42/16 from ⊥
+	// to port 2 at s2; a report claiming that path should now verify IF the
+	// downstream continues. Just assert the table grew consistently.
+	if loaded.NumPaths() < pt.NumPaths() {
+		t.Fatal("incremental update on a loaded table lost paths")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	n := topo.Figure5()
+	cases := [][]byte{
+		{},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+	}
+	for i, c := range cases {
+		if _, err := Load(bytes.NewReader(c), n); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Valid snapshot against the wrong topology: switch IDs missing.
+	_, c2, _ := figure5Rules(t, n)
+	pt := buildTable(n, c2)
+	var buf bytes.Buffer
+	if err := pt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tiny := topo.Linear(1, 1)
+	if _, err := Load(bytes.NewReader(buf.Bytes()), tiny); err == nil {
+		t.Error("snapshot accepted against a mismatched topology")
+	}
+	// Truncations at various points must error, not panic.
+	full := buf.Bytes()
+	for _, cut := range []int{13, len(full) / 4, len(full) / 2, len(full) - 3} {
+		if _, err := Load(bytes.NewReader(full[:cut]), n); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Incremental path-table update (§4.4). A rule add/delete at switch S is
+// reduced (by flowtable.PrefixTree) to a Delta: the header set Δ that moves
+// from output port From to output port To. Applying it touches only the
+// affected slice of the table:
+//
+//  1. Every path (and every recorded traversal arrival) whose hop sequence
+//     exits S through From loses Δ from its header set; emptied paths are
+//     deleted.
+//  2. Every header set that reached S during the recursive search is
+//     intersected with Δ and re-traversed out of To, adding or growing
+//     paths downstream.
+//
+// The §4.4 preconditions apply: destination-prefix forwarding rules only —
+// no ACLs, no input-port matches — so transfer predicates are input-port
+// independent and can be patched in place.
+
+package core
+
+import (
+	"fmt"
+
+	"veridp/internal/bdd"
+	"veridp/internal/flowtable"
+	"veridp/internal/topo"
+)
+
+// ApplyDelta incrementally updates the path table after a rule change at
+// switch sw moved header set d.Set from port d.From to port d.To.
+func (pt *PathTable) ApplyDelta(sw topo.SwitchID, d flowtable.Delta) error {
+	s := pt.Net.Switch(sw)
+	if s == nil {
+		return fmt.Errorf("core: unknown switch %d", sw)
+	}
+	if d.From == d.To || d.Set == bdd.False {
+		return nil // nothing moves
+	}
+
+	// Patch the cached transfer functions for S (input-port independent
+	// under the §4.4 preconditions: pure destination-prefix rules — no
+	// ACLs, no input-port matches, no rewrites).
+	tp := pt.transfer[sw]
+	for _, x := range s.Ports() {
+		if err := patchPlainGuard(pt, tp, flowtable.PortPair{In: x, Out: d.From}, d.Set, false); err != nil {
+			return err
+		}
+		if err := patchPlainGuard(pt, tp, flowtable.PortPair{In: x, Out: d.To}, d.Set, true); err != nil {
+			return err
+		}
+	}
+
+	fromKey := topo.PortKey{Switch: sw, Port: d.From}
+
+	// Step 1a: shrink paths that exited S via From.
+	for _, e := range pt.hopIndex[fromKey] {
+		if e.deleted {
+			continue
+		}
+		e.Headers = pt.Space.T.Diff(e.Headers, d.Set)
+		if e.Headers == bdd.False {
+			e.deleted = true
+		}
+	}
+	// Step 1b: shrink downstream arrival records whose prefix used that
+	// hop.
+	for _, a := range pt.arrivalIndex[fromKey] {
+		if a.deleted {
+			continue
+		}
+		a.Headers = pt.Space.T.Diff(a.Headers, d.Set)
+		if a.Headers == bdd.False {
+			a.deleted = true
+		}
+	}
+
+	// Step 2: re-traverse the moved headers out of To from every arrival
+	// at S. Snapshot the arrival list first: the traversal appends new
+	// arrivals downstream (never at S itself unless the topology loops
+	// back, which the visited set prevents from recursing unboundedly).
+	snapshot := append([]*arrival(nil), pt.arrivals[sw]...)
+	for _, a := range snapshot {
+		if a.deleted {
+			continue
+		}
+		moved := pt.Space.T.And(a.Headers, d.Set)
+		if moved == bdd.False {
+			continue
+		}
+		visited := pt.visitedAlong(a)
+		pt.extend(a.Inport, topo.PortKey{Switch: sw, Port: a.At}, d.To, moved, a.Prefix, a.Tag, visited)
+	}
+	return nil
+}
+
+// patchPlainGuard adjusts the nil-rewrite entry of a transfer pair by the
+// delta (add=true ORs it in, add=false subtracts). Pairs carrying rewrite
+// entries violate the §4.4 preconditions and are rejected.
+func patchPlainGuard(pt *PathTable, tp map[flowtable.PortPair][]flowtable.TransferEntry, pp flowtable.PortPair, delta bdd.Ref, add bool) error {
+	es := tp[pp]
+	for i := range es {
+		if es[i].Rewrite.IsZero() {
+			if add {
+				es[i].Guard = pt.Space.T.Or(es[i].Guard, delta)
+			} else {
+				es[i].Guard = pt.Space.T.Diff(es[i].Guard, delta)
+			}
+			return nil
+		}
+	}
+	if len(es) > 0 {
+		return fmt.Errorf("core: incremental update on a rewriting pair %v (unsupported; rebuild instead)", pp)
+	}
+	if add {
+		tp[pp] = append(es, flowtable.TransferEntry{Guard: delta})
+	}
+	return nil
+}
+
+// visitedAlong reconstructs the loop-guard set for a recorded arrival: the
+// entry port plus every port entered along its prefix.
+func (pt *PathTable) visitedAlong(a *arrival) map[topo.PortKey]bool {
+	visited := map[topo.PortKey]bool{a.Inport: true}
+	for _, hop := range a.Prefix {
+		out := topo.PortKey{Switch: hop.Switch, Port: hop.Out}
+		if next, ok := pt.Net.Peer(out); ok {
+			visited[next] = true
+		}
+	}
+	return visited
+}
+
+// Compact drops deleted entries and arrival records and rebuilds the
+// indexes. Long-running servers call it periodically; experiments call it
+// before comparing tables.
+func (pt *PathTable) Compact() {
+	for k := range pt.entries {
+		pt.live(k)
+	}
+	pt.hopIndex = make(map[topo.PortKey][]*PathEntry, len(pt.hopIndex))
+	for _, es := range pt.entries {
+		for _, e := range es {
+			for _, hop := range e.Path {
+				pk := topo.PortKey{Switch: hop.Switch, Port: hop.Out}
+				pt.hopIndex[pk] = append(pt.hopIndex[pk], e)
+			}
+		}
+	}
+	arr := make(map[topo.SwitchID][]*arrival, len(pt.arrivals))
+	pt.arrivalIndex = make(map[topo.PortKey][]*arrival, len(pt.arrivalIndex))
+	for sw, as := range pt.arrivals {
+		for _, a := range as {
+			if a.deleted {
+				continue
+			}
+			arr[sw] = append(arr[sw], a)
+			for _, hop := range a.Prefix {
+				pk := topo.PortKey{Switch: hop.Switch, Port: hop.Out}
+				pt.arrivalIndex[pk] = append(pt.arrivalIndex[pk], a)
+			}
+		}
+	}
+	pt.arrivals = arr
+}

@@ -1,0 +1,175 @@
+package dataplane
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"veridp/internal/flowtable"
+	"veridp/internal/header"
+	"veridp/internal/openflow"
+	"veridp/internal/packet"
+	"veridp/internal/topo"
+)
+
+// startAgent wires an agent to an in-memory pipe and returns the
+// controller-side conn.
+func startAgent(t *testing.T, f *Fabric, id topo.SwitchID, sink ReportSink) *openflow.Conn {
+	t.Helper()
+	a, b := net.Pipe()
+	agent := &Agent{Fabric: f, ID: id, Mu: &sync.Mutex{}, Sink: sink}
+	go agent.Run(a)
+	c := openflow.NewConn(b)
+	sw, err := c.RecvHello()
+	if err != nil || sw != id {
+		t.Fatalf("hello: %d, %v", sw, err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return c
+}
+
+func TestAgentFlowModAndBarrier(t *testing.T) {
+	n := topo.Linear(2, 1)
+	f := NewFabric(n)
+	s1 := n.SwitchByName("s1").ID
+	c := startAgent(t, f, s1, nil)
+
+	fm := &openflow.FlowMod{
+		Command: openflow.FlowAdd, Switch: s1, RuleID: 11,
+		Rule: flowtable.Rule{Priority: 4, Action: flowtable.ActOutput, OutPort: 2},
+	}
+	if _, err := c.SendFlowMod(fm); err != nil {
+		t.Fatal(err)
+	}
+	xid, err := c.SendBarrierRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Recv()
+	if err != nil || m.Type != openflow.TypeBarrierReply || m.Xid != xid {
+		t.Fatalf("barrier reply: %+v, %v", m, err)
+	}
+	// The barrier guarantees the rule is installed.
+	if f.Switch(s1).Config.Table.Get(11) == nil {
+		t.Fatal("rule not installed after barrier")
+	}
+
+	// Modify and delete round-trip too.
+	fm.Command = openflow.FlowModify
+	fm.Rule.OutPort = 1
+	c.SendFlowMod(fm)
+	fm.Command = openflow.FlowDelete
+	c.SendFlowMod(fm)
+	xid, _ = c.SendBarrierRequest()
+	for {
+		m, err = c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type == openflow.TypeBarrierReply && m.Xid == xid {
+			break
+		}
+	}
+	if f.Switch(s1).Config.Table.Get(11) != nil {
+		t.Fatal("rule survived delete")
+	}
+}
+
+func TestAgentErrorsOnBadFlowMod(t *testing.T) {
+	n := topo.Linear(2, 1)
+	f := NewFabric(n)
+	s1 := n.SwitchByName("s1").ID
+	c := startAgent(t, f, s1, nil)
+
+	// Deleting a rule that doesn't exist must produce an Error message.
+	fm := &openflow.FlowMod{Command: openflow.FlowDelete, Switch: s1, RuleID: 999}
+	xid, err := c.SendFlowMod(fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Recv()
+	if err != nil || m.Type != openflow.TypeError {
+		t.Fatalf("expected Error, got %+v err %v", m, err)
+	}
+	e, err := openflow.UnmarshalError(m.Body)
+	if err != nil || e.Xid != xid {
+		t.Fatalf("error body: %+v err %v", e, err)
+	}
+}
+
+func TestAgentPacketOutInjectsAndReports(t *testing.T) {
+	n := topo.Linear(2, 1)
+	f := NewFabric(n)
+	// Route h2 on both switches so the packet is delivered.
+	h2 := n.Host("h2-0")
+	for _, sw := range n.Switches() {
+		out := topo.PortID(2)
+		if sw.ID == h2.Attach.Switch {
+			out = h2.Attach.Port
+		}
+		f.Switch(sw.ID).Config.Table.Add(&flowtable.Rule{
+			Priority: 1, Match: flowtable.Match{DstPrefix: flowtable.Prefix{IP: h2.IP, Len: 32}},
+			Action: flowtable.ActOutput, OutPort: out,
+		})
+	}
+
+	var mu sync.Mutex
+	var got []*packet.Report
+	sink := ReportFunc(func(r *packet.Report) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+	})
+	s1 := n.SwitchByName("s1").ID
+	c := startAgent(t, f, s1, sink)
+
+	h := header.Header{SrcIP: n.Host("h1-0").IP, DstIP: h2.IP, Proto: header.ProtoTCP, DstPort: 80}
+	frame := packet.BuildData(h, 64, nil)
+	if err := c.SendPacketOut(&openflow.PacketOut{Port: n.Host("h1-0").Attach.Port, Data: frame}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		cnt := len(got)
+		mu.Unlock()
+		if cnt == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no report from PacketOut injection")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].Header != h {
+		t.Fatalf("report header %v, want %v", got[0].Header, h)
+	}
+}
+
+func TestAgentEcho(t *testing.T) {
+	n := topo.Linear(2, 1)
+	f := NewFabric(n)
+	c := startAgent(t, f, n.SwitchByName("s1").ID, nil)
+	if err := c.Send(&openflow.Message{Type: openflow.TypeEchoRequest, Xid: 77, Body: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Recv()
+	if err != nil || m.Type != openflow.TypeEchoReply || m.Xid != 77 || string(m.Body) != "hi" {
+		t.Fatalf("echo reply: %+v err %v", m, err)
+	}
+}
+
+func TestAgentUnknownSwitch(t *testing.T) {
+	n := topo.Linear(2, 1)
+	f := NewFabric(n)
+	agent := &Agent{Fabric: f, ID: 99, Mu: &sync.Mutex{}}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := agent.Run(a); err == nil {
+		t.Fatal("agent for unknown switch ran")
+	}
+}

@@ -1,0 +1,327 @@
+package dataplane
+
+import (
+	"testing"
+	"time"
+
+	"veridp/internal/bloom"
+	"veridp/internal/controller"
+	"veridp/internal/flowtable"
+	"veridp/internal/header"
+	"veridp/internal/packet"
+	"veridp/internal/topo"
+)
+
+// setup wires a controller to a fabric over the given network and installs
+// host routes.
+func setup(t *testing.T, n *topo.Network, opts ...Option) (*Fabric, *controller.Controller) {
+	t.Helper()
+	f := NewFabric(n, opts...)
+	c := controller.New(n, &FabricInstaller{Fabric: f})
+	if err := c.RouteAllHosts(); err != nil {
+		t.Fatal(err)
+	}
+	return f, c
+}
+
+func TestDeliveryOnLinear(t *testing.T) {
+	n := topo.Linear(3, 1)
+	f, _ := setup(t, n)
+	h := header.Header{
+		SrcIP: n.Host("h1-0").IP, DstIP: n.Host("h3-0").IP,
+		Proto: header.ProtoTCP, SrcPort: 999, DstPort: 80,
+	}
+	res, err := f.InjectFromHost("h1-0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeDelivered {
+		t.Fatalf("outcome = %v, want delivered", res.Outcome)
+	}
+	if res.Exit != n.Host("h3-0").Attach {
+		t.Fatalf("exit = %v, want %v", res.Exit, n.Host("h3-0").Attach)
+	}
+	if len(res.Path) != 3 {
+		t.Fatalf("path length %d, want 3: %v", len(res.Path), res.Path)
+	}
+	if len(res.Reports) != 1 {
+		t.Fatalf("reports = %d, want 1", len(res.Reports))
+	}
+	r := res.Reports[0]
+	if r.Inport != n.Host("h1-0").Attach || r.Outport != n.Host("h3-0").Attach {
+		t.Fatalf("report endpoints: %v", r)
+	}
+	if r.Header != h {
+		t.Fatalf("report header %v, want %v", r.Header, h)
+	}
+	// The reported tag must equal the Bloom fold of the actual path.
+	var want bloom.Tag
+	for _, hop := range res.Path {
+		want = want.Union(f.Params.Hash(hop.Bytes()))
+	}
+	if r.Tag != want {
+		t.Fatalf("tag %v, want %v", r.Tag, want)
+	}
+}
+
+func TestUnmatchedTrafficDropsWithReport(t *testing.T) {
+	n := topo.Linear(2, 1)
+	f, _ := setup(t, n)
+	h := header.Header{SrcIP: n.Host("h1-0").IP, DstIP: header.MustParseIP("99.9.9.9")}
+	res, err := f.InjectFromHost("h1-0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeDropped {
+		t.Fatalf("outcome = %v, want dropped", res.Outcome)
+	}
+	if res.Exit.Port != topo.DropPort {
+		t.Fatalf("exit = %v", res.Exit)
+	}
+	// §3.3: switches send tag reports for dropped packets.
+	if len(res.Reports) != 1 || res.Reports[0].Outport.Port != topo.DropPort {
+		t.Fatalf("drop report missing: %v", res.Reports)
+	}
+}
+
+func TestSamplingControlsTagging(t *testing.T) {
+	n := topo.Linear(3, 1)
+	f, _ := setup(t, n, WithSampler(func() Sampler { return SampleNone{} }))
+	h := header.Header{SrcIP: n.Host("h1-0").IP, DstIP: n.Host("h3-0").IP}
+	res, err := f.InjectFromHost("h1-0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeDelivered {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if res.Sampled || len(res.Reports) != 0 {
+		t.Fatal("unsampled packet was tagged/reported")
+	}
+	for _, sw := range f.Switches() {
+		if sw.Counters.Tagged != 0 {
+			t.Fatal("tagging happened without sampling")
+		}
+	}
+}
+
+func TestFlowSamplerInterval(t *testing.T) {
+	s := NewFlowSampler(10 * time.Second)
+	h := header.Header{SrcIP: 1, DstIP: 2, Proto: 6, SrcPort: 3, DstPort: 4}
+	t0 := time.Unix(1000, 0)
+	if !s.ShouldSample(h, t0) {
+		t.Fatal("first packet of a flow must be sampled")
+	}
+	if s.ShouldSample(h, t0.Add(5*time.Second)) {
+		t.Fatal("sampled again inside the interval")
+	}
+	if !s.ShouldSample(h, t0.Add(11*time.Second)) {
+		t.Fatal("not sampled after the interval")
+	}
+	// Distinct flows are independent.
+	h2 := h
+	h2.DstPort = 5
+	if !s.ShouldSample(h2, t0.Add(time.Second)) {
+		t.Fatal("new flow not sampled")
+	}
+	if s.ActiveFlows() != 2 {
+		t.Fatalf("ActiveFlows = %d", s.ActiveFlows())
+	}
+	// Per-flow override.
+	s.PerFlow[h] = time.Second
+	if !s.ShouldSample(h, t0.Add(13*time.Second)) {
+		t.Fatal("per-flow interval override ignored")
+	}
+}
+
+func TestArraySampler(t *testing.T) {
+	s := NewArraySampler(2, 10*time.Second, time.Minute)
+	t0 := time.Unix(2000, 0)
+	a := header.Header{SrcPort: 1}
+	b := header.Header{SrcPort: 2}
+	c := header.Header{SrcPort: 3}
+	if !s.ShouldSample(a, t0) || !s.ShouldSample(b, t0) {
+		t.Fatal("fresh flows must sample")
+	}
+	if s.ShouldSample(a, t0.Add(time.Second)) {
+		t.Fatal("tracked flow resampled inside interval")
+	}
+	// Array full of active flows: the overflow flow samples unconditionally.
+	if !s.ShouldSample(c, t0.Add(time.Second)) || !s.ShouldSample(c, t0.Add(2*time.Second)) {
+		t.Fatal("overflow flow should sample unconditionally")
+	}
+	// After the idle timeout, c claims a's slot.
+	late := t0.Add(2 * time.Minute)
+	if !s.ShouldSample(c, late) {
+		t.Fatal("idle slot not reclaimed")
+	}
+	if s.ShouldSample(c, late.Add(time.Second)) {
+		t.Fatal("reclaimed slot not tracking")
+	}
+}
+
+func TestMiddleboxTraversalTagsBothLegs(t *testing.T) {
+	// Figure 5: SSH from H1 to H3 detours through the middlebox at S2:3.
+	n := topo.Figure5()
+	f := NewFabric(n)
+	c := controller.New(n, &FabricInstaller{Fabric: f})
+
+	s1 := n.SwitchByName("S1")
+	s3 := n.SwitchByName("S3")
+	sshMatch := flowtable.Match{HasDst: true, DstPort: 22}
+	wp, err := c.InstallWaypoint(sshMatch,
+		n.Host("H1").Attach,
+		topo.PortKey{Switch: n.SwitchByName("S2").ID, Port: 3},
+		n.Host("H3").Attach, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wp) == 0 {
+		t.Fatal("no waypoint rules installed")
+	}
+	// Low-priority direct route for everything else.
+	if _, err := c.RoutePrefix(flowtable.Prefix{IP: n.Host("H3").IP, Len: 32}, n.Host("H3").Attach); err != nil {
+		t.Fatal(err)
+	}
+
+	ssh := header.Header{SrcIP: n.Host("H1").IP, DstIP: n.Host("H3").IP, Proto: header.ProtoTCP, DstPort: 22}
+	res, err := f.InjectFromHost("H1", ssh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeDelivered {
+		t.Fatalf("SSH outcome = %v (path %v)", res.Outcome, res.Path)
+	}
+	// Paper's expected path: ⟨1,S1,3⟩ ⟨1,S2,3⟩ ⟨3,S2,2⟩ ⟨1,S3,2⟩.
+	s2 := n.SwitchByName("S2")
+	want := topo.Path{
+		{In: 1, Switch: s1.ID, Out: 3},
+		{In: 1, Switch: s2.ID, Out: 3},
+		{In: 3, Switch: s2.ID, Out: 2},
+		{In: 1, Switch: s3.ID, Out: 2},
+	}
+	if len(res.Path) != len(want) {
+		t.Fatalf("path %v, want %v", res.Path, want)
+	}
+	for i := range want {
+		if res.Path[i] != want[i] {
+			t.Fatalf("hop %d = %v, want %v", i, res.Path[i], want[i])
+		}
+	}
+	// Tag must fold all four hops, including both S2 visits.
+	var tag bloom.Tag
+	for _, hop := range want {
+		tag = tag.Union(f.Params.Hash(hop.Bytes()))
+	}
+	if res.Reports[0].Tag != tag {
+		t.Fatal("middlebox legs missing from the tag")
+	}
+
+	// Non-SSH traffic takes the direct S1→S3 link.
+	web := ssh
+	web.DstPort = 80
+	res, err = f.InjectFromHost("H1", web)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeDelivered || len(res.Path) != 2 {
+		t.Fatalf("web path %v (outcome %v)", res.Path, res.Outcome)
+	}
+}
+
+func TestLoopTTLReport(t *testing.T) {
+	// A deliberate two-switch forwarding loop: sampled packets must
+	// TTL-expire and emit a report rather than circling forever.
+	n := topo.Linear(2, 1)
+	f := NewFabric(n)
+	s1 := n.SwitchByName("s1")
+	s2 := n.SwitchByName("s2")
+	f.Switch(s1.ID).Config.Table.Add(&flowtable.Rule{Priority: 1, Action: flowtable.ActOutput, OutPort: 2})
+	f.Switch(s2.ID).Config.Table.Add(&flowtable.Rule{Priority: 1, Action: flowtable.ActOutput, OutPort: 1})
+
+	res, err := f.InjectFromHost("h1-0", header.Header{SrcIP: 1, DstIP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeLooped {
+		t.Fatalf("outcome = %v, want looped", res.Outcome)
+	}
+	if len(res.Reports) == 0 {
+		t.Fatal("loop produced no TTL report")
+	}
+	last := res.Reports[len(res.Reports)-1]
+	if last.Outport.Port == topo.DropPort {
+		t.Fatal("TTL report should carry the real egress, not ⊥")
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	n := topo.Linear(2, 1)
+	f := NewFabric(n)
+	if _, err := f.InjectFromHost("nobody", header.Header{}); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+	if _, err := f.Inject(topo.PortKey{Switch: 1, Port: 2}, header.Header{}); err == nil {
+		t.Fatal("non-edge port accepted")
+	}
+}
+
+func TestGlobalReportSink(t *testing.T) {
+	n := topo.Linear(2, 1)
+	var got []*packet.Report
+	f := NewFabric(n, WithReportSink(ReportFunc(func(r *packet.Report) { got = append(got, r) })))
+	c := controller.New(n, &FabricInstaller{Fabric: f})
+	if err := c.RouteAllHosts(); err != nil {
+		t.Fatal(err)
+	}
+	h := header.Header{SrcIP: n.Host("h1-0").IP, DstIP: n.Host("h2-0").IP}
+	if _, err := f.InjectFromHost("h1-0", h); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("global sink saw %d reports, want 1", len(got))
+	}
+}
+
+func TestInstallerCommands(t *testing.T) {
+	n := topo.Linear(2, 1)
+	f := NewFabric(n)
+	c := controller.New(n, &FabricInstaller{Fabric: f})
+	sw := n.SwitchByName("s1")
+
+	id, err := c.InstallRule(sw.ID, flowtable.Rule{Priority: 9, Action: flowtable.ActOutput, OutPort: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := f.Switch(sw.ID).Config.Table
+	if phys.Get(id) == nil {
+		t.Fatal("rule did not reach the physical table")
+	}
+	if c.Logical()[sw.ID].Table.Get(id) == nil {
+		t.Fatal("rule missing from the logical store")
+	}
+	if err := c.RemoveRule(sw.ID, id); err != nil {
+		t.Fatal(err)
+	}
+	if phys.Get(id) != nil {
+		t.Fatal("delete did not reach the physical table")
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountersAndReset(t *testing.T) {
+	n := topo.Linear(2, 1)
+	f, _ := setup(t, n)
+	h := header.Header{SrcIP: n.Host("h1-0").IP, DstIP: n.Host("h2-0").IP}
+	f.InjectFromHost("h1-0", h)
+	s1 := f.Switch(n.SwitchByName("s1").ID)
+	if s1.Counters.Received != 1 || s1.Counters.Sampled != 1 || s1.Counters.Tagged != 1 {
+		t.Fatalf("counters: %+v", s1.Counters)
+	}
+	f.ResetCounters()
+	if s1.Counters.Received != 0 {
+		t.Fatal("ResetCounters did not clear")
+	}
+}

@@ -1,0 +1,270 @@
+// The fabric: an in-process network emulator that moves packets between
+// emulated switches along the topology's links, playing the role Mininet +
+// Open vSwitch play in the paper's evaluation (see DESIGN.md,
+// "Substitutions"). Injection is synchronous and deterministic: a packet is
+// walked hop by hop until it is delivered to a host, dropped, lost, or runs
+// out of the fabric's hop budget (which catches forwarding loops for
+// unsampled packets that carry no TTL).
+
+package dataplane
+
+import (
+	"fmt"
+	"time"
+
+	"veridp/internal/bloom"
+	"veridp/internal/header"
+	"veridp/internal/packet"
+	"veridp/internal/topo"
+)
+
+// Outcome classifies what finally happened to an injected packet.
+type Outcome uint8
+
+const (
+	// OutcomeDelivered means the packet reached a host edge port.
+	OutcomeDelivered Outcome = iota
+	// OutcomeDropped means a switch sent it to ⊥.
+	OutcomeDropped
+	// OutcomeLost means it was emitted on a port with nothing attached —
+	// invisible to VeriDP, like the hardware failures §3.3 scopes out.
+	OutcomeLost
+	// OutcomeLooped means the fabric's hop budget expired, i.e. the packet
+	// was circling (sampled packets also TTL-report before this).
+	OutcomeLooped
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeDelivered:
+		return "delivered"
+	case OutcomeDropped:
+		return "dropped"
+	case OutcomeLost:
+		return "lost"
+	case OutcomeLooped:
+		return "looped"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// Result summarizes one injected packet's journey.
+type Result struct {
+	Outcome Outcome
+	// Exit is the last port the packet was seen at: the destination edge
+	// port, the ⟨switch,⊥⟩ drop location, or the void port it vanished on.
+	Exit topo.PortKey
+	// Path is the ground-truth hop sequence (for experiment scoring only).
+	Path topo.Path
+	// Reports are the tag reports this packet triggered (usually one; a
+	// loop can produce several via TTL expiry and revisits).
+	Reports []*packet.Report
+	// Sampled records whether the entry switch marked the packet.
+	Sampled bool
+}
+
+// Fabric owns the emulated switches and the links between them.
+type Fabric struct {
+	Net    *topo.Network
+	Params bloom.Params
+
+	switches map[topo.SwitchID]*Switch
+	sink     ReportSink
+	clock    func() time.Time
+	capture  CaptureFunc
+}
+
+// Option configures a Fabric.
+type Option func(*fabricConfig)
+
+type fabricConfig struct {
+	params  bloom.Params
+	sampler func() Sampler
+	sink    ReportSink
+	clock   func() time.Time
+	capture CaptureFunc
+}
+
+// WithParams sets the Bloom-tag parameters (default: the paper's 16 bits).
+func WithParams(p bloom.Params) Option {
+	return func(c *fabricConfig) { c.params = p }
+}
+
+// WithSampler sets a factory producing each switch's sampler (default:
+// SampleAll, which the accuracy experiments use).
+func WithSampler(f func() Sampler) Option {
+	return func(c *fabricConfig) { c.sampler = f }
+}
+
+// WithReportSink routes every tag report to sink in addition to the
+// per-injection Result.
+func WithReportSink(s ReportSink) Option {
+	return func(c *fabricConfig) { c.sink = s }
+}
+
+// WithClock substitutes the time source (tests use a fake clock to drive
+// sampling intervals deterministically).
+func WithClock(f func() time.Time) Option {
+	return func(c *fabricConfig) { c.clock = f }
+}
+
+// CaptureFunc receives serialized frames from the fabric's capture taps.
+type CaptureFunc func(ts time.Time, frame []byte)
+
+// WithCapture taps the fabric: every injected packet (as the host sent it)
+// and every delivered packet (as the destination receives it — rewritten
+// headers, and the VeriDP VLAN encapsulation when a sampled packet's tag
+// fits the 16-bit wire format) is serialized to a real Ethernet frame and
+// handed to fn, typically a pcap.Writer.
+func WithCapture(fn CaptureFunc) Option {
+	return func(c *fabricConfig) { c.capture = fn }
+}
+
+// NewFabric builds a switch for every topology node.
+func NewFabric(n *topo.Network, opts ...Option) *Fabric {
+	cfg := fabricConfig{
+		params:  bloom.DefaultParams,
+		sampler: func() Sampler { return SampleAll{} },
+		clock:   time.Now,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	f := &Fabric{
+		Net:      n,
+		Params:   cfg.params,
+		switches: make(map[topo.SwitchID]*Switch, n.NumSwitches()),
+		sink:     cfg.sink,
+		clock:    cfg.clock,
+		capture:  cfg.capture,
+	}
+	for _, sw := range n.Switches() {
+		f.switches[sw.ID] = newSwitch(n, sw, cfg.params, cfg.sampler())
+	}
+	return f
+}
+
+// Switch returns the emulated switch, or nil. Fault injection and rule
+// installation go through it.
+func (f *Fabric) Switch(id topo.SwitchID) *Switch { return f.switches[id] }
+
+// Switches returns all emulated switches keyed by ID (shared map; do not
+// mutate).
+func (f *Fabric) Switches() map[topo.SwitchID]*Switch { return f.switches }
+
+// InjectFromHost injects a packet with the given 5-tuple at the named
+// host's edge port.
+func (f *Fabric) InjectFromHost(host string, h header.Header) (*Result, error) {
+	hh := f.Net.Host(host)
+	if hh == nil {
+		return nil, fmt.Errorf("dataplane: unknown host %q", host)
+	}
+	return f.Inject(hh.Attach, h)
+}
+
+// Inject walks a packet into the network at the given edge port and follows
+// it to its fate.
+func (f *Fabric) Inject(at topo.PortKey, h header.Header) (*Result, error) {
+	if !f.Net.IsEdgePort(at) {
+		return nil, fmt.Errorf("dataplane: %v is not an edge port", at)
+	}
+	p := &SimPacket{Header: h}
+	res := &Result{}
+
+	// Collect this packet's reports while still forwarding to the global
+	// sink (the verification server).
+	collect := ReportFunc(func(r *packet.Report) {
+		res.Reports = append(res.Reports, r)
+		if f.sink != nil {
+			f.sink.HandleReport(r)
+		}
+	})
+
+	now := f.clock()
+	if f.capture != nil {
+		f.capture(now, packet.BuildData(h, 64, nil))
+	}
+	cur := at
+	budget := 4*f.Net.MaxPathLength() + 8 // catches loops of unsampled packets
+	for {
+		sw := f.switches[cur.Switch]
+		out := sw.Process(cur.Port, p, now, collect)
+		res.Sampled = p.Sampled
+
+		outKey := topo.PortKey{Switch: cur.Switch, Port: out}
+		if out == topo.DropPort {
+			res.Outcome = OutcomeDropped
+			res.Exit = outKey
+			break
+		}
+		if f.Net.IsEdgePort(outKey) {
+			res.Outcome = OutcomeDelivered
+			res.Exit = outKey
+			if f.capture != nil {
+				f.capture(now, f.deliveredFrame(p))
+			}
+			break
+		}
+		if p.Sampled && p.TTL <= 0 {
+			// The TTL report already fired; the packet dies here, exactly
+			// like an IP TTL expiry.
+			res.Outcome = OutcomeLooped
+			res.Exit = outKey
+			break
+		}
+		next, ok := f.Net.Peer(outKey)
+		if !ok {
+			res.Outcome = OutcomeLost
+			res.Exit = outKey
+			break
+		}
+		budget--
+		if budget <= 0 {
+			res.Outcome = OutcomeLooped
+			res.Exit = outKey
+			break
+		}
+		cur = next
+	}
+	res.Path = p.Path()
+	return res, nil
+}
+
+// Path exposes the packet's ground-truth trace.
+func (p *SimPacket) Path() topo.Path { return p.Trace }
+
+// deliveredFrame serializes the packet as the destination receives it:
+// final (possibly rewritten) header, with the VeriDP encapsulation kept
+// when the tag fits the 16-bit wire format — what a capture at the last
+// link would show just before the exit switch pops the tags.
+func (f *Fabric) deliveredFrame(p *SimPacket) []byte {
+	ttl := uint8(64)
+	if p.Sampled && p.TTL > 0 && p.TTL < 64 {
+		ttl = uint8(p.TTL)
+	}
+	raw := packet.BuildData(p.Header, ttl, nil)
+	if p.Sampled && uint64(p.Tag)>>16 == 0 {
+		if enc, err := packet.Encapsulate(raw, p.Tag, p.Ingress); err == nil {
+			return enc
+		}
+	}
+	return raw
+}
+
+// SetParams switches the Bloom-tag configuration on every switch — the
+// Figure 12 experiment sweeps tag sizes over one installed network.
+func (f *Fabric) SetParams(p bloom.Params) {
+	f.Params = p
+	for _, s := range f.switches {
+		s.params = p
+	}
+}
+
+// ResetCounters zeroes every switch's counters between experiment runs.
+func (f *Fabric) ResetCounters() {
+	for _, s := range f.switches {
+		s.Counters = Counters{}
+	}
+}

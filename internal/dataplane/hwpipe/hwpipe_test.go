@@ -1,0 +1,86 @@
+package hwpipe
+
+import (
+	"testing"
+	"time"
+
+	"veridp/internal/header"
+	"veridp/internal/packet"
+	"veridp/internal/topo"
+)
+
+func TestTable4Shape(t *testing.T) {
+	rows, err := Default().Table4([]int{128, 256, 512, 1024, 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for i, r := range rows {
+		// Modules are constant-time per packet.
+		if i > 0 {
+			if r.Sampling != rows[0].Sampling || r.Tagging != rows[0].Tagging {
+				t.Fatalf("module delay varies with packet size: %+v vs %+v", r, rows[0])
+			}
+			// Native grows with packet size; overheads shrink.
+			if r.Native <= rows[i-1].Native {
+				t.Fatalf("native delay not increasing: %v then %v", rows[i-1].Native, r.Native)
+			}
+			if r.SamplingOH >= rows[i-1].SamplingOH || r.TaggingOH >= rows[i-1].TaggingOH {
+				t.Fatalf("relative overhead not shrinking: %+v then %+v", rows[i-1], r)
+			}
+		}
+	}
+	// Table 4's regime: sampling ≈ 0.15 µs, tagging ≈ 0.27 µs, native at
+	// 128 B a few µs; overheads a few percent at 128 B and <2% at 512 B.
+	r0 := rows[0]
+	if r0.Sampling < 50*time.Nanosecond || r0.Sampling > 500*time.Nanosecond {
+		t.Fatalf("sampling delay %v outside the paper's regime", r0.Sampling)
+	}
+	if r0.Tagging < 100*time.Nanosecond || r0.Tagging > 800*time.Nanosecond {
+		t.Fatalf("tagging delay %v outside the paper's regime", r0.Tagging)
+	}
+	if r0.Native < time.Microsecond || r0.Native > 20*time.Microsecond {
+		t.Fatalf("native delay %v at 128B outside the paper's regime", r0.Native)
+	}
+	if r0.TaggingOH > 0.15 {
+		t.Fatalf("tagging overhead %.2f%% at 128B too large", r0.TaggingOH*100)
+	}
+	r512 := rows[2]
+	if r512.TaggingOH > 0.03 {
+		t.Fatalf("tagging overhead %.3f at 512B should be ~1%%", r512.TaggingOH)
+	}
+}
+
+func TestProcessRejectsGarbage(t *testing.T) {
+	if _, err := Default().Process([]byte{1, 2, 3}, topo.Hop{}, true); err == nil {
+		t.Fatal("garbage packet accepted")
+	}
+	if _, err := Default().Table4([]int{10}); err == nil {
+		t.Fatal("absurd packet size accepted")
+	}
+}
+
+func TestSamplingOnlyAtEntry(t *testing.T) {
+	h := header.Header{SrcIP: 1, DstIP: 2, Proto: header.ProtoTCP, SrcPort: 3, DstPort: 4}
+	raw := packet.BuildData(h, 64, make([]byte, 100))
+	m := Default()
+	entry, err := m.Process(raw, topo.Hop{In: 1, Switch: 1, Out: 2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := m.Process(raw, topo.Hop{In: 1, Switch: 2, Out: 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.SamplingCycles == 0 {
+		t.Fatal("entry switch skipped sampling")
+	}
+	if core.SamplingCycles != 0 {
+		t.Fatal("non-entry switch ran the sampling module (§6.6: only entry switches sample)")
+	}
+	if entry.TaggingCycles == 0 || core.TaggingCycles == 0 {
+		t.Fatal("tagging must run at every hop")
+	}
+}

@@ -1,0 +1,49 @@
+// FabricInstaller: the in-process southbound path. It applies FlowMods
+// directly to the emulated switches' physical tables, playing the role of a
+// perfectly healthy OpenFlow agent. The faults package wraps it to emulate
+// the §2.2 failure modes (silently dropped installs, priority loss, ...).
+
+package dataplane
+
+import (
+	"fmt"
+
+	"veridp/internal/flowtable"
+	"veridp/internal/openflow"
+	"veridp/internal/topo"
+)
+
+// FabricInstaller satisfies the controller's Installer interface against a
+// Fabric.
+type FabricInstaller struct {
+	Fabric *Fabric
+}
+
+// Apply executes one FlowMod on the target switch's physical table.
+func (fi *FabricInstaller) Apply(f *openflow.FlowMod) error {
+	sw := fi.Fabric.Switch(f.Switch)
+	if sw == nil {
+		return fmt.Errorf("dataplane: no switch %d", f.Switch)
+	}
+	switch f.Command {
+	case openflow.FlowAdd:
+		r := f.Rule
+		r.ID = f.RuleID
+		_, err := sw.Config.Table.Add(&r)
+		return err
+	case openflow.FlowDelete:
+		return sw.Config.Table.Delete(f.RuleID)
+	case openflow.FlowModify:
+		return sw.Config.Table.Modify(f.RuleID, func(r *flowtable.Rule) {
+			r.Priority = f.Rule.Priority
+			r.Match = f.Rule.Match
+			r.Action = f.Rule.Action
+			r.OutPort = f.Rule.OutPort
+		})
+	default:
+		return fmt.Errorf("dataplane: unknown FlowMod command %d", f.Command)
+	}
+}
+
+// Barrier is trivially satisfied: the in-process path is synchronous.
+func (fi *FabricInstaller) Barrier(topo.SwitchID) error { return nil }

@@ -1,0 +1,137 @@
+// Traffic sampling (§4.5): entry switches sample packets per flow. Each
+// flow f has a sampling interval T_s^f; a packet is marked when at least
+// T_s^f has elapsed since the flow's last sampled packet. Choosing
+// T_s^f ≤ τ − T_a^f bounds fault-detection latency by τ, where T_a^f is the
+// flow's maximum inter-packet gap.
+
+package dataplane
+
+import (
+	"time"
+
+	"veridp/internal/header"
+)
+
+// Sampler decides which packets an entry switch marks for verification.
+type Sampler interface {
+	// ShouldSample reports whether the packet with this 5-tuple, arriving
+	// at the given instant, is sampled.
+	ShouldSample(h header.Header, now time.Time) bool
+}
+
+// SampleAll marks every packet — the configuration the accuracy experiments
+// use so every injected packet yields a tag report.
+type SampleAll struct{}
+
+// ShouldSample always returns true.
+func (SampleAll) ShouldSample(header.Header, time.Time) bool { return true }
+
+// SampleNone never samples; used to measure the un-instrumented baseline.
+type SampleNone struct{}
+
+// ShouldSample always returns false.
+func (SampleNone) ShouldSample(header.Header, time.Time) bool { return false }
+
+// FlowSampler implements the paper's per-flow interval sampling with a hash
+// table of last-sampling instants, as the Open vSwitch prototype does (§5).
+// It is not safe for concurrent use; each switch owns one.
+type FlowSampler struct {
+	// Interval is T_s applied to flows without a specific override.
+	Interval time.Duration
+	// PerFlow overrides the interval for specific flows.
+	PerFlow map[header.Header]time.Duration
+
+	last map[header.Header]time.Time
+}
+
+// NewFlowSampler returns a sampler with the given default interval.
+func NewFlowSampler(interval time.Duration) *FlowSampler {
+	return &FlowSampler{
+		Interval: interval,
+		PerFlow:  make(map[header.Header]time.Duration),
+		last:     make(map[header.Header]time.Time),
+	}
+}
+
+// ShouldSample samples the first packet of a flow and then one packet per
+// interval.
+func (s *FlowSampler) ShouldSample(h header.Header, now time.Time) bool {
+	interval := s.Interval
+	if iv, ok := s.PerFlow[h]; ok {
+		interval = iv
+	}
+	t, seen := s.last[h]
+	if seen && now.Sub(t) <= interval {
+		return false
+	}
+	s.last[h] = now
+	return true
+}
+
+// ActiveFlows returns the number of tracked flows (the hash-table footprint
+// the hardware pipeline bounds with a fixed array).
+func (s *FlowSampler) ActiveFlows() int { return len(s.last) }
+
+// ArraySampler models the hardware pipeline's sampling stage (§5): a fixed
+// array of flow slots, each holding a flow key, its last sampling instant,
+// and a last-hit instant used to reclaim idle slots. Collisions evict the
+// least-recently-hit entry, trading accuracy for bounded FPGA memory.
+type ArraySampler struct {
+	Interval time.Duration
+	IdleOut  time.Duration // slots idle longer than this are reclaimable
+
+	slots []arraySlot
+}
+
+type arraySlot struct {
+	used    bool
+	flow    header.Header
+	sampled time.Time
+	hit     time.Time
+}
+
+// NewArraySampler returns a sampler with the given slot count.
+func NewArraySampler(slots int, interval, idleOut time.Duration) *ArraySampler {
+	if slots < 1 {
+		panic("dataplane: ArraySampler needs at least one slot")
+	}
+	return &ArraySampler{Interval: interval, IdleOut: idleOut, slots: make([]arraySlot, slots)}
+}
+
+// ShouldSample looks the flow up in the array; a miss claims a free or
+// reclaimable slot (sampling the packet), and a full array falls back to
+// sampling unconditionally, which errs toward visibility.
+func (s *ArraySampler) ShouldSample(h header.Header, now time.Time) bool {
+	var free = -1
+	var oldest = -1
+	for i := range s.slots {
+		sl := &s.slots[i]
+		if !sl.used {
+			if free == -1 {
+				free = i
+			}
+			continue
+		}
+		if sl.flow == h {
+			sl.hit = now
+			if now.Sub(sl.sampled) > s.Interval {
+				sl.sampled = now
+				return true
+			}
+			return false
+		}
+		if oldest == -1 || sl.hit.Before(s.slots[oldest].hit) {
+			oldest = i
+		}
+	}
+	idx := free
+	if idx == -1 {
+		if oldest != -1 && now.Sub(s.slots[oldest].hit) > s.IdleOut {
+			idx = oldest // reclaim an idle slot
+		} else {
+			return true // array full of active flows: sample unconditionally
+		}
+	}
+	s.slots[idx] = arraySlot{used: true, flow: h, sampled: now, hit: now}
+	return true
+}

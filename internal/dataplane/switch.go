@@ -1,0 +1,153 @@
+// The emulated SDN switch: an OpenFlow pipeline (in-ACL → flow table →
+// out-ACL) feeding the VeriDP pipeline of Algorithm 1 (sample at entry, tag
+// every hop, report at exit/drop/TTL-expiry). The two pipelines are
+// deliberately separate, as in the paper (§3.3): tagging depends only on the
+// actual ⟨in, switch, out⟩ hop, never on flow-table contents, so flow-table
+// faults cannot corrupt the evidence used to detect them.
+
+package dataplane
+
+import (
+	"time"
+
+	"veridp/internal/bloom"
+	"veridp/internal/flowtable"
+	"veridp/internal/header"
+	"veridp/internal/packet"
+	"veridp/internal/topo"
+)
+
+// SimPacket is the in-process packet representation the fabric moves
+// between switches. Simulation-level packets carry the Bloom tag natively
+// so Figure 12's 8–64-bit sweeps aren't limited by the 16-bit wire format.
+type SimPacket struct {
+	Header  header.Header
+	Sampled bool
+	Tag     bloom.Tag
+	Ingress topo.PortKey
+	TTL     int
+
+	// Trace is ground truth for the experiments: the hops the packet
+	// actually took. The verification server never sees it.
+	Trace topo.Path
+}
+
+// ReportSink receives tag reports emitted by switches.
+type ReportSink interface {
+	HandleReport(r *packet.Report)
+}
+
+// ReportFunc adapts a function to ReportSink.
+type ReportFunc func(r *packet.Report)
+
+// HandleReport calls the function.
+func (f ReportFunc) HandleReport(r *packet.Report) { f(r) }
+
+// Counters tracks per-switch pipeline activity.
+type Counters struct {
+	Received uint64 // packets entering the OpenFlow pipeline
+	Sampled  uint64 // packets marked by the sampling module
+	Tagged   uint64 // tag updates performed
+	Reports  uint64 // tag reports emitted
+	Dropped  uint64 // packets sent to ⊥
+}
+
+// Switch is one emulated switch. Not safe for concurrent use; the Fabric
+// (or the live agent's lock) serializes access.
+type Switch struct {
+	ID     topo.SwitchID
+	Config *flowtable.SwitchConfig // the PHYSICAL rules (faults mutate these)
+
+	// OutputOverride, when non-nil, rewrites the OpenFlow pipeline's
+	// forwarding decision — the §6.3 fault model ("output the packet to a
+	// port different from the original one") applied per packet without
+	// touching the rule table. The VeriDP pipeline tags the overridden
+	// port, exactly as a misforwarding switch would.
+	OutputOverride func(in topo.PortID, h header.Header, out topo.PortID) topo.PortID
+
+	net     *topo.Network
+	params  bloom.Params
+	sampler Sampler
+
+	Counters Counters
+}
+
+// newSwitch is constructed by the Fabric.
+func newSwitch(n *topo.Network, sw *topo.Switch, params bloom.Params, sampler Sampler) *Switch {
+	return &Switch{
+		ID:      sw.ID,
+		Config:  flowtable.NewSwitchConfig(sw.Ports()),
+		net:     n,
+		params:  params,
+		sampler: sampler,
+	}
+}
+
+// Process implements Algorithm 1 on one packet arriving at port in. It
+// returns the chosen output port; the packet's VeriDP state (tag, TTL,
+// sampled flag) is updated in place and a tag report goes to sink when the
+// packet leaves the monitored domain (nil sink discards reports).
+func (s *Switch) Process(in topo.PortID, p *SimPacket, now time.Time, sink ReportSink) topo.PortID {
+	s.Counters.Received++
+
+	// OpenFlow pipeline decides the output port (and any header rewrite)
+	// first; the VeriDP pipeline then observes the ⟨in, s, out⟩ hop that
+	// actually happened.
+	out, rewrite := s.Config.Forward(in, p.Header)
+	if s.OutputOverride != nil {
+		out = s.OutputOverride(in, p.Header, out)
+	}
+
+	inKey := topo.PortKey{Switch: s.ID, Port: in}
+	if s.net.IsEdgePort(inKey) {
+		// Entry switch: sampling decision + tag/TTL initialization.
+		if s.sampler.ShouldSample(p.Header, now) {
+			s.Counters.Sampled++
+			p.Sampled = true
+			p.Tag = 0
+			p.TTL = s.net.MaxPathLength()
+			p.Ingress = inKey
+		} else {
+			p.Sampled = false
+		}
+	}
+
+	hop := topo.Hop{In: in, Switch: s.ID, Out: out}
+	p.Trace = append(p.Trace, hop)
+
+	// Set-field actions execute before the VeriDP pipeline (§5: it runs
+	// "after all actions have been executed"), so reports carry the header
+	// as it leaves the switch.
+	p.Header = rewrite.Apply(p.Header)
+
+	if p.Sampled {
+		// tag ← tag ⊔ BF(x‖s‖y); TTL ← TTL − 1.
+		p.Tag = p.Tag.Union(s.params.Hash(hop.Bytes()))
+		s.Counters.Tagged++
+		p.TTL--
+
+		outKey := topo.PortKey{Switch: s.ID, Port: out}
+		if s.net.IsEdgePort(outKey) || out == topo.DropPort || p.TTL <= 0 {
+			s.report(p, outKey, sink)
+		}
+	}
+	if out == topo.DropPort {
+		s.Counters.Dropped++
+	}
+	return out
+}
+
+// report emits the 4-tuple ⟨inport, outport, header, tag⟩ (§3.3).
+func (s *Switch) report(p *SimPacket, out topo.PortKey, sink ReportSink) {
+	s.Counters.Reports++
+	if sink == nil {
+		return
+	}
+	sink.HandleReport(&packet.Report{
+		Inport:  p.Ingress,
+		Outport: out,
+		Header:  p.Header,
+		Tag:     p.Tag,
+		MBits:   uint8(s.params.MBits),
+	})
+}

@@ -1,0 +1,264 @@
+// Package faults injects the control-data plane inconsistencies of §2.2
+// into an emulated data plane: rules the switch silently fails to install
+// (lack of acknowledgement), rules evicted by buggy table management
+// (switch software bugs), priorities ignored (premature implementations),
+// and rules modified behind the controller's back (external modification).
+// Each fault mutates only the PHYSICAL tables; the controller's logical
+// store — and therefore the path table — never learns about it, which is
+// precisely the gap VeriDP monitors.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"veridp/internal/controller"
+	"veridp/internal/dataplane"
+	"veridp/internal/flowtable"
+	"veridp/internal/openflow"
+	"veridp/internal/topo"
+)
+
+// Kind enumerates the §2.2 fault classes.
+type Kind uint8
+
+const (
+	// KindDropInstall silently discards a FlowMod: the switch acknowledges
+	// but never installs ("lack of data plane acknowledgement").
+	KindDropInstall Kind = iota
+	// KindWrongPort rewires an installed rule's output port ("switch
+	// software bugs" / Figure 7's misforwarding).
+	KindWrongPort
+	// KindPriorityLoss installs rules with priority forced to zero — the
+	// HP ProCurve 5406zl behavior of §2.2.
+	KindPriorityLoss
+	// KindRuleEviction deletes an installed rule, as dependency-unaware
+	// table management does under pressure (CacheFlow's observation).
+	KindRuleEviction
+	// KindExternalModify rewrites a rule's action out-of-band (dpctl or a
+	// compromised switch OS).
+	KindExternalModify
+	// KindBlackhole replaces a rule's action with drop.
+	KindBlackhole
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDropInstall:
+		return "drop-install"
+	case KindWrongPort:
+		return "wrong-port"
+	case KindPriorityLoss:
+		return "priority-loss"
+	case KindRuleEviction:
+		return "rule-eviction"
+	case KindExternalModify:
+		return "external-modify"
+	case KindBlackhole:
+		return "blackhole"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Injected describes one applied fault, for experiment ground truth.
+type Injected struct {
+	Kind   Kind
+	Switch topo.SwitchID
+	RuleID uint64
+	// OldPort/NewPort are set for port-rewiring faults.
+	OldPort, NewPort topo.PortID
+}
+
+// String renders the fault.
+func (i Injected) String() string {
+	return fmt.Sprintf("%v@S%d rule %d (%s→%s)", i.Kind, i.Switch, i.RuleID, i.OldPort, i.NewPort)
+}
+
+// WrongPort rewires an existing physical rule to a different, randomly
+// chosen real port of the switch (never the original, never ⊥) — the fault
+// model of the paper's detection and localization experiments (§6.3:
+// "output the packet to a port different from the original one").
+func WrongPort(f *dataplane.Fabric, sw topo.SwitchID, ruleID uint64, rng *rand.Rand) (Injected, error) {
+	s := f.Switch(sw)
+	if s == nil {
+		return Injected{}, fmt.Errorf("faults: no switch %d", sw)
+	}
+	r := s.Config.Table.Get(ruleID)
+	if r == nil {
+		return Injected{}, fmt.Errorf("faults: no rule %d on switch %d", ruleID, sw)
+	}
+	var choices []topo.PortID
+	for _, p := range s.Config.Ports {
+		if p != r.OutPort {
+			choices = append(choices, p)
+		}
+	}
+	if len(choices) == 0 {
+		return Injected{}, fmt.Errorf("faults: switch %d has no alternative port", sw)
+	}
+	newPort := choices[rng.Intn(len(choices))]
+	inj := Injected{Kind: KindWrongPort, Switch: sw, RuleID: ruleID, OldPort: r.OutPort, NewPort: newPort}
+	err := s.Config.Table.Modify(ruleID, func(r *flowtable.Rule) {
+		r.Action = flowtable.ActOutput
+		r.OutPort = newPort
+	})
+	return inj, err
+}
+
+// Blackhole turns a rule into a drop (§6.2's black-hole function test).
+func Blackhole(f *dataplane.Fabric, sw topo.SwitchID, ruleID uint64) (Injected, error) {
+	s := f.Switch(sw)
+	if s == nil {
+		return Injected{}, fmt.Errorf("faults: no switch %d", sw)
+	}
+	r := s.Config.Table.Get(ruleID)
+	if r == nil {
+		return Injected{}, fmt.Errorf("faults: no rule %d on switch %d", ruleID, sw)
+	}
+	inj := Injected{Kind: KindBlackhole, Switch: sw, RuleID: ruleID, OldPort: r.OutPort, NewPort: topo.DropPort}
+	err := s.Config.Table.Modify(ruleID, func(r *flowtable.Rule) { r.Action = flowtable.ActDrop })
+	return inj, err
+}
+
+// Evict removes a rule from the physical table only (§6.2's access
+// violation deletes an ACL deny this way).
+func Evict(f *dataplane.Fabric, sw topo.SwitchID, ruleID uint64) (Injected, error) {
+	s := f.Switch(sw)
+	if s == nil {
+		return Injected{}, fmt.Errorf("faults: no switch %d", sw)
+	}
+	if err := s.Config.Table.Delete(ruleID); err != nil {
+		return Injected{}, err
+	}
+	return Injected{Kind: KindRuleEviction, Switch: sw, RuleID: ruleID}, nil
+}
+
+// TableOverflow emulates the Pronto-Pica8 3290 bug the paper cites (§2.2,
+// via CacheFlow): the switch holds `capacity` rules in its hardware table
+// and "simply places all extra rules at the software flow table", which is
+// consulted only when no hardware rule matches — respecting no dependency
+// across rules. Behaviorally, the overflow rules (the most recently
+// installed ones) act as if their priority dropped below every hardware
+// rule. The injector reproduces exactly that observable behavior by
+// rebasing the overflow rules' priorities below the hardware minimum,
+// preserving their relative order. The logical table keeps the true
+// priorities — the §2.2 inconsistency.
+func TableOverflow(f *dataplane.Fabric, sw topo.SwitchID, capacity int) ([]Injected, error) {
+	s := f.Switch(sw)
+	if s == nil {
+		return nil, fmt.Errorf("faults: no switch %d", sw)
+	}
+	if capacity < 0 {
+		return nil, fmt.Errorf("faults: negative capacity")
+	}
+	// Install order = rule ID order.
+	rules := append([]*flowtable.Rule(nil), s.Config.Table.Rules()...)
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	if len(rules) <= capacity {
+		return nil, nil // everything fits: no fault manifests
+	}
+	hw := rules[:capacity]
+	overflow := rules[capacity:]
+
+	// The software table sits behind the hardware one: rebase overflow
+	// priorities below the hardware minimum, keeping relative order.
+	minHW := uint16(65535)
+	for _, r := range hw {
+		if r.Priority < minHW {
+			minHW = r.Priority
+		}
+	}
+	if int(minHW) <= len(overflow) {
+		return nil, fmt.Errorf("faults: cannot rebase %d overflow rules below hardware priority %d", len(overflow), minHW)
+	}
+	// Order overflow rules by their true priority (the software table still
+	// picks its own best match), then pack them under minHW.
+	sort.SliceStable(overflow, func(i, j int) bool { return overflow[i].Priority > overflow[j].Priority })
+	var out []Injected
+	for i, r := range overflow {
+		newPri := minHW - 1 - uint16(i)
+		if r.Priority == newPri {
+			continue
+		}
+		id := r.ID
+		if err := s.Config.Table.Modify(id, func(rr *flowtable.Rule) { rr.Priority = newPri }); err != nil {
+			return out, err
+		}
+		out = append(out, Injected{Kind: KindPriorityLoss, Switch: sw, RuleID: id})
+	}
+	return out, nil
+}
+
+// RandomRule picks a random installed forwarding rule (ActOutput) across
+// all switches. Candidate enumeration is in sorted switch order so the same
+// seed always faults the same rule — experiments stay reproducible.
+func RandomRule(f *dataplane.Fabric, rng *rand.Rand) (topo.SwitchID, uint64, bool) {
+	var candidates []struct {
+		sw topo.SwitchID
+		id uint64
+	}
+	ids := make([]topo.SwitchID, 0, len(f.Switches()))
+	for sw := range f.Switches() {
+		ids = append(ids, sw)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, sw := range ids {
+		for _, r := range f.Switch(sw).Config.Table.Rules() {
+			if r.Action == flowtable.ActOutput {
+				candidates = append(candidates, struct {
+					sw topo.SwitchID
+					id uint64
+				}{sw, r.ID})
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, 0, false
+	}
+	c := candidates[rng.Intn(len(candidates))]
+	return c.sw, c.id, true
+}
+
+// FaultyInstaller wraps a southbound installer with §2.2 installation
+// faults: a configurable fraction of FlowAdds is silently dropped
+// (DropRate) and/or installed with priority zero (PriorityLossRate).
+// Barriers succeed unconditionally — mirroring the measured switches that
+// answer Barrier before rules actually land (§2.2).
+type FaultyInstaller struct {
+	Inner controller.Installer
+
+	DropRate         float64
+	PriorityLossRate float64
+	Rng              *rand.Rand
+
+	// Dropped records the FlowMods that never reached the data plane.
+	Dropped []*openflow.FlowMod
+	// Degraded records the FlowMods installed with lost priority.
+	Degraded []*openflow.FlowMod
+}
+
+// Apply forwards the FlowMod, possibly corrupting or discarding it first.
+// Errors from the underlying installer still propagate: the fault model is
+// about silent failures, not noisy ones.
+func (fi *FaultyInstaller) Apply(f *openflow.FlowMod) error {
+	if f.Command == openflow.FlowAdd {
+		if fi.Rng.Float64() < fi.DropRate {
+			fi.Dropped = append(fi.Dropped, f)
+			return nil // acknowledged, never installed
+		}
+		if fi.Rng.Float64() < fi.PriorityLossRate {
+			c := *f
+			c.Rule.Priority = 0
+			fi.Degraded = append(fi.Degraded, f)
+			return fi.Inner.Apply(&c)
+		}
+	}
+	return fi.Inner.Apply(f)
+}
+
+// Barrier always succeeds immediately — the too-eager Barrier replies the
+// paper's motivation cites ([50, 46]).
+func (fi *FaultyInstaller) Barrier(topo.SwitchID) error { return nil }

@@ -1,0 +1,208 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"veridp/internal/controller"
+	"veridp/internal/dataplane"
+	"veridp/internal/flowtable"
+	"veridp/internal/header"
+	"veridp/internal/openflow"
+	"veridp/internal/topo"
+)
+
+func testFabric(t *testing.T) (*dataplane.Fabric, *controller.Controller, *topo.Network) {
+	t.Helper()
+	n := topo.Linear(3, 1)
+	f := dataplane.NewFabric(n)
+	c := controller.New(n, &dataplane.FabricInstaller{Fabric: f})
+	if err := c.RouteAllHosts(); err != nil {
+		t.Fatal(err)
+	}
+	return f, c, n
+}
+
+func TestWrongPortChangesPhysicalOnly(t *testing.T) {
+	f, c, n := testFabric(t)
+	rng := rand.New(rand.NewSource(1))
+	sw, id, ok := RandomRule(f, rng)
+	if !ok {
+		t.Fatal("no rule")
+	}
+	logicalBefore := c.Logical()[sw].Table.Get(id).OutPort
+	inj, err := WrongPort(f, sw, id, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Kind != KindWrongPort || inj.NewPort == inj.OldPort {
+		t.Fatalf("injection %v", inj)
+	}
+	if got := f.Switch(sw).Config.Table.Get(id).OutPort; got != inj.NewPort {
+		t.Fatalf("physical port %s, want %s", got, inj.NewPort)
+	}
+	if c.Logical()[sw].Table.Get(id).OutPort != logicalBefore {
+		t.Fatal("fault leaked into the logical store")
+	}
+	_ = n
+}
+
+func TestBlackholeAndEvict(t *testing.T) {
+	f, _, _ := testFabric(t)
+	rng := rand.New(rand.NewSource(2))
+	sw, id, _ := RandomRule(f, rng)
+	inj, err := Blackhole(f, sw, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.NewPort != topo.DropPort {
+		t.Fatalf("blackhole target %v", inj)
+	}
+	if f.Switch(sw).Config.Table.Get(id).Action != flowtable.ActDrop {
+		t.Fatal("rule not dropped")
+	}
+	inj, err = Evict(f, sw, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Switch(sw).Config.Table.Get(id) != nil {
+		t.Fatal("rule survived eviction")
+	}
+	if _, err := Evict(f, sw, id); err == nil {
+		t.Fatal("double eviction accepted")
+	}
+	if _, err := Blackhole(f, 99, 1); err == nil {
+		t.Fatal("unknown switch accepted")
+	}
+	if _, err := WrongPort(f, 99, 1, rng); err == nil {
+		t.Fatal("unknown switch accepted")
+	}
+}
+
+func TestRandomRuleEmptyFabric(t *testing.T) {
+	n := topo.Linear(2, 1)
+	f := dataplane.NewFabric(n)
+	if _, _, ok := RandomRule(f, rand.New(rand.NewSource(3))); ok {
+		t.Fatal("rule found in an empty fabric")
+	}
+}
+
+func TestFaultyInstallerDropsSilently(t *testing.T) {
+	n := topo.Linear(3, 1)
+	f := dataplane.NewFabric(n)
+	fi := &FaultyInstaller{
+		Inner:    &dataplane.FabricInstaller{Fabric: f},
+		DropRate: 1.0, // drop every install
+		Rng:      rand.New(rand.NewSource(4)),
+	}
+	c := controller.New(n, fi)
+	if err := c.RouteAllHosts(); err != nil {
+		t.Fatal(err) // the drop is silent: no error
+	}
+	if len(fi.Dropped) == 0 {
+		t.Fatal("nothing recorded as dropped")
+	}
+	for _, sw := range n.Switches() {
+		if f.Switch(sw.ID).Config.Table.Len() != 0 {
+			t.Fatal("rules reached the data plane despite DropRate=1")
+		}
+		// The logical store is fully populated: this IS the inconsistency.
+		if c.Logical()[sw.ID].Table.Len() == 0 {
+			t.Fatal("logical store empty")
+		}
+	}
+	if err := fi.Barrier(1); err != nil {
+		t.Fatal("barrier should lie and succeed")
+	}
+}
+
+func TestFaultyInstallerPriorityLoss(t *testing.T) {
+	n := topo.Linear(2, 1)
+	f := dataplane.NewFabric(n)
+	fi := &FaultyInstaller{
+		Inner:            &dataplane.FabricInstaller{Fabric: f},
+		PriorityLossRate: 1.0,
+		Rng:              rand.New(rand.NewSource(5)),
+	}
+	c := controller.New(n, fi)
+	sw := n.SwitchByName("s1").ID
+	id, err := c.InstallRule(sw, flowtable.Rule{Priority: 500, Action: flowtable.ActOutput, OutPort: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Switch(sw).Config.Table.Get(id).Priority; got != 0 {
+		t.Fatalf("physical priority %d, want 0", got)
+	}
+	if c.Logical()[sw].Table.Get(id).Priority != 500 {
+		t.Fatal("logical priority corrupted too")
+	}
+	if len(fi.Degraded) != 1 {
+		t.Fatalf("degraded count %d", len(fi.Degraded))
+	}
+	// Deletes pass through untouched.
+	if err := c.RemoveRule(sw, id); err != nil {
+		t.Fatal(err)
+	}
+	if f.Switch(sw).Config.Table.Get(id) != nil {
+		t.Fatal("delete did not pass through")
+	}
+}
+
+// TestTableOverflowReproducesPica8Bug builds the §2.2 scenario: a
+// high-priority deny installed late lands in the "software table" and is
+// shadowed by an earlier low-priority permit — forwarding inverts exactly
+// as CacheFlow observed on the Pronto-Pica8.
+func TestTableOverflowReproducesPica8Bug(t *testing.T) {
+	n := topo.Linear(2, 1)
+	f := dataplane.NewFabric(n)
+	c := controller.New(n, &dataplane.FabricInstaller{Fabric: f})
+	sw := n.SwitchByName("s1").ID
+
+	// Installed first (fits in hardware): forward everything.
+	if _, err := c.InstallRule(sw, flowtable.Rule{Priority: 10, Action: flowtable.ActOutput, OutPort: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Installed second (overflows): high-priority deny for one host.
+	denySrc := flowtable.Prefix{IP: n.Host("h1-0").IP, Len: 32}
+	if _, err := c.InstallRule(sw, flowtable.Rule{Priority: 100, Match: flowtable.Match{SrcPrefix: denySrc}, Action: flowtable.ActDrop}); err != nil {
+		t.Fatal(err)
+	}
+
+	h := header.Header{SrcIP: n.Host("h1-0").IP, DstIP: n.Host("h2-0").IP, Proto: 6}
+	// Healthy: the deny wins.
+	if out := f.Switch(sw).Config.Classify(3, h); out != topo.DropPort {
+		t.Fatalf("deny should win before the fault, got %s", out)
+	}
+
+	inj, err := TableOverflow(f, sw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj) == 0 {
+		t.Fatal("overflow injected nothing")
+	}
+	// The bug: the hardware permit now shadows the overflowed deny.
+	if out := f.Switch(sw).Config.Classify(3, h); out != 2 {
+		t.Fatalf("overflowed deny still wins (got %s) — bug not reproduced", out)
+	}
+	// The logical table is untouched: this is a control-data inconsistency.
+	if out := c.Logical()[sw].Classify(3, h); out != topo.DropPort {
+		t.Fatal("fault leaked into the logical table")
+	}
+
+	// Everything-fits and impossible-rebase cases.
+	if inj, err := TableOverflow(f, sw, 10); err != nil || inj != nil {
+		t.Fatalf("capacity ≥ rules should be a no-op: %v %v", inj, err)
+	}
+	if _, err := TableOverflow(f, 99, 1); err == nil {
+		t.Fatal("unknown switch accepted")
+	}
+}
+
+func TestInjectedString(t *testing.T) {
+	inj := Injected{Kind: KindWrongPort, Switch: 3, RuleID: 9, OldPort: 1, NewPort: 2}
+	if inj.String() == "" || KindBlackhole.String() != "blackhole" {
+		t.Fatal("string rendering broken")
+	}
+	_ = openflow.FlowAdd // the package's fault surface includes FlowMods
+}

@@ -1,0 +1,316 @@
+// Multi-table pipelines: §3.3 notes that "a typical switch can contain a
+// cascade of flow tables, each of which may hold thousands of flow
+// entries". This file models such cascades — prioritized tables chained by
+// goto-table instructions, with write-action rewrite semantics (matches see
+// the original header; rewrites merge and apply at egress) — and compiles
+// them down to the single-table form the rest of the system consumes.
+//
+// Flattening walks every goto chain, intersecting matches and assigning
+// lexicographic priorities (earlier tables dominate), which preserves
+// first-match semantics exactly: a packet's winning chain in the pipeline
+// is the highest-priority non-empty intersection in the flattened table.
+// The property tests in pipeline_test.go verify classification equivalence
+// on randomized pipelines.
+
+package flowtable
+
+import (
+	"fmt"
+
+	"veridp/internal/header"
+	"veridp/internal/topo"
+)
+
+// InstructionKind selects what a pipeline entry does on match.
+type InstructionKind uint8
+
+const (
+	// InstrOutput emits the packet on a port (ending the pipeline).
+	InstrOutput InstructionKind = iota
+	// InstrDrop discards the packet.
+	InstrDrop
+	// InstrGoto continues matching in a later table.
+	InstrGoto
+)
+
+// PipelineEntry is one rule of one pipeline table.
+type PipelineEntry struct {
+	Priority uint16
+	Match    Match
+	Kind     InstructionKind
+	OutPort  topo.PortID // for InstrOutput
+	Goto     int         // for InstrGoto; must exceed the current table index
+	// Rewrite accumulates (write-actions semantics): later tables override
+	// per field; the merged rewrite applies once at egress.
+	Rewrite *header.Rewrite
+}
+
+// Pipeline is an ordered cascade of tables; matching starts in table 0.
+type Pipeline struct {
+	Tables [][]PipelineEntry
+}
+
+// Validate checks table references, monotone gotos, and that every table
+// carries a table-miss entry (a full-wildcard match, as the OpenFlow spec
+// requires of well-formed pipelines). The miss entries make goto chains
+// total, which is what lets Flatten preserve semantics exactly.
+func (p *Pipeline) Validate() error {
+	if len(p.Tables) == 0 {
+		return fmt.Errorf("flowtable: empty pipeline")
+	}
+	for ti, tbl := range p.Tables {
+		miss := false
+		for ei, e := range tbl {
+			if e.Kind == InstrGoto && (e.Goto <= ti || e.Goto >= len(p.Tables)) {
+				return fmt.Errorf("flowtable: table %d entry %d: goto %d must target a later table", ti, ei, e.Goto)
+			}
+			if e.Match == (Match{}) {
+				miss = true
+			}
+		}
+		if !miss {
+			return fmt.Errorf("flowtable: table %d lacks a table-miss (full-wildcard) entry", ti)
+		}
+	}
+	return nil
+}
+
+// Classify runs the pipeline on one packet: in each visited table, the
+// highest-priority matching entry (ties to earlier entries) decides.
+// Falling off a table — or a goto chain that never outputs — drops, per
+// OpenFlow's table-miss default.
+func (p *Pipeline) Classify(in topo.PortID, h header.Header) (topo.PortID, *header.Rewrite) {
+	var acc *header.Rewrite
+	t := 0
+	for {
+		e := bestMatch(p.Tables[t], in, h)
+		if e == nil {
+			return topo.DropPort, nil
+		}
+		acc = mergeRewrites(acc, e.Rewrite)
+		switch e.Kind {
+		case InstrOutput:
+			if acc.IsZero() {
+				acc = nil
+			}
+			return e.OutPort, acc
+		case InstrDrop:
+			return topo.DropPort, nil
+		case InstrGoto:
+			t = e.Goto
+		default:
+			return topo.DropPort, nil
+		}
+	}
+}
+
+// bestMatch scans a table in declaration order, honoring priorities.
+func bestMatch(tbl []PipelineEntry, in topo.PortID, h header.Header) *PipelineEntry {
+	var best *PipelineEntry
+	for i := range tbl {
+		e := &tbl[i]
+		if !e.Match.MatchesHeader(in, h) {
+			continue
+		}
+		if best == nil || e.Priority > best.Priority {
+			best = e
+		}
+	}
+	return best
+}
+
+// mergeRewrites overlays b on a (b's set fields win).
+func mergeRewrites(a, b *header.Rewrite) *header.Rewrite {
+	if b.IsZero() {
+		return a
+	}
+	out := header.Rewrite{}
+	if a != nil {
+		out = *a
+	}
+	if b.SetSrcIP {
+		out.SetSrcIP, out.SrcIP = true, b.SrcIP
+	}
+	if b.SetDstIP {
+		out.SetDstIP, out.DstIP = true, b.DstIP
+	}
+	if b.SetSrcPort {
+		out.SetSrcPort, out.SrcPort = true, b.SrcPort
+	}
+	if b.SetDstPort {
+		out.SetDstPort, out.DstPort = true, b.DstPort
+	}
+	return &out
+}
+
+// Intersect computes the conjunction of two matches, reporting ok=false
+// when they cannot both hold (disjoint prefixes, conflicting exact fields,
+// or conflicting input ports).
+func (m Match) Intersect(o Match) (Match, bool) {
+	out := m
+	switch {
+	case m.InPort == 0:
+		out.InPort = o.InPort
+	case o.InPort == 0 || o.InPort == m.InPort:
+		// keep m.InPort
+	default:
+		return Match{}, false
+	}
+	var ok bool
+	if out.SrcPrefix, ok = intersectPrefix(m.SrcPrefix, o.SrcPrefix); !ok {
+		return Match{}, false
+	}
+	if out.DstPrefix, ok = intersectPrefix(m.DstPrefix, o.DstPrefix); !ok {
+		return Match{}, false
+	}
+	if out.HasProto, out.Proto, ok = intersectExact8(m.HasProto, m.Proto, o.HasProto, o.Proto); !ok {
+		return Match{}, false
+	}
+	if out.HasSrc, out.SrcPort, ok = intersectExact16(m.HasSrc, m.SrcPort, o.HasSrc, o.SrcPort); !ok {
+		return Match{}, false
+	}
+	if out.HasDst, out.DstPort, ok = intersectExact16(m.HasDst, m.DstPort, o.HasDst, o.DstPort); !ok {
+		return Match{}, false
+	}
+	// Exact ports must still fall inside the intersected prefixes.
+	return out, true
+}
+
+func intersectPrefix(a, b Prefix) (Prefix, bool) {
+	switch {
+	case a.Len == 0:
+		return b.Canonical(), true
+	case b.Len == 0:
+		return a.Canonical(), true
+	case a.Contains(b):
+		return b.Canonical(), true
+	case b.Contains(a):
+		return a.Canonical(), true
+	default:
+		return Prefix{}, false
+	}
+}
+
+func intersectExact8(hasA bool, a uint8, hasB bool, b uint8) (bool, uint8, bool) {
+	switch {
+	case !hasA:
+		return hasB, b, true
+	case !hasB:
+		return true, a, true
+	case a == b:
+		return true, a, true
+	default:
+		return false, 0, false
+	}
+}
+
+func intersectExact16(hasA bool, a uint16, hasB bool, b uint16) (bool, uint16, bool) {
+	switch {
+	case !hasA:
+		return hasB, b, true
+	case !hasB:
+		return true, a, true
+	case a == b:
+		return true, a, true
+	default:
+		return false, 0, false
+	}
+}
+
+// Flatten compiles the pipeline into an equivalent single prioritized
+// table. Every root-to-egress goto chain becomes one rule whose match is
+// the chain's intersection and whose priority encodes the chain's
+// lexicographic rank, so Lookup picks exactly the chain Classify would.
+// Chains ending on a table miss become drops only implicitly (the
+// flattened table's miss is also a drop), so misses need no rules.
+func (p *Pipeline) Flatten() (*Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	type chain struct {
+		match   Match
+		rewrite *header.Rewrite
+		kind    InstructionKind
+		out     topo.PortID
+		rank    []int // per-table order index of the chosen entry
+	}
+	var chains []chain
+
+	// Entries of one table ordered by effective precedence: priority desc,
+	// then declaration order.
+	order := func(tbl []PipelineEntry) []int {
+		idx := make([]int, len(tbl))
+		for i := range idx {
+			idx[i] = i
+		}
+		// Insertion sort by (priority desc, index asc): stable and simple.
+		for i := 1; i < len(idx); i++ {
+			for j := i; j > 0 && tbl[idx[j]].Priority > tbl[idx[j-1]].Priority; j-- {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+			}
+		}
+		return idx
+	}
+
+	var walk func(t int, m Match, rw *header.Rewrite, rank []int) error
+	walk = func(t int, m Match, rw *header.Rewrite, rank []int) error {
+		for pos, ei := range order(p.Tables[t]) {
+			e := p.Tables[t][ei]
+			im, ok := m.Intersect(e.Match)
+			if !ok {
+				continue
+			}
+			merged := mergeRewrites(rw, e.Rewrite)
+			nextRank := append(append([]int(nil), rank...), pos)
+			if e.Kind == InstrGoto {
+				if err := walk(e.Goto, im, merged, nextRank); err != nil {
+					return err
+				}
+				continue
+			}
+			chains = append(chains, chain{match: im, rewrite: merged, kind: e.Kind, out: e.OutPort, rank: nextRank})
+		}
+		return nil
+	}
+	if err := walk(0, Match{}, nil, nil); err != nil {
+		return nil, err
+	}
+
+	// Lexicographic rank → descending priority. Sort chains by rank.
+	less := func(a, b []int) bool {
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return len(a) < len(b)
+	}
+	for i := 1; i < len(chains); i++ {
+		for j := i; j > 0 && less(chains[j].rank, chains[j-1].rank); j-- {
+			chains[j], chains[j-1] = chains[j-1], chains[j]
+		}
+	}
+	if len(chains) > 65000 {
+		return nil, fmt.Errorf("flowtable: flattened pipeline has %d chains (priority space exhausted)", len(chains))
+	}
+
+	out := NewTable()
+	pri := uint16(65000)
+	for _, c := range chains {
+		r := Rule{Priority: pri, Match: c.match, Rewrite: c.rewrite}
+		pri--
+		if c.kind == InstrDrop {
+			r.Action = ActDrop
+		} else {
+			r.Action = ActOutput
+			r.OutPort = c.out
+		}
+		if c.rewrite.IsZero() {
+			r.Rewrite = nil
+		}
+		if _, err := out.Add(&r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,224 @@
+package flowtable
+
+import (
+	"math/rand"
+	"testing"
+
+	"veridp/internal/header"
+	"veridp/internal/topo"
+)
+
+// missEntry is the mandatory table-miss: drop everything unmatched.
+func missEntry() PipelineEntry {
+	return PipelineEntry{Priority: 0, Kind: InstrDrop}
+}
+
+func TestPipelineValidate(t *testing.T) {
+	if err := (&Pipeline{}).Validate(); err == nil {
+		t.Fatal("empty pipeline accepted")
+	}
+	// Goto must point forward.
+	p := &Pipeline{Tables: [][]PipelineEntry{
+		{{Kind: InstrGoto, Goto: 0}, missEntry()},
+		{missEntry()},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("self-goto accepted")
+	}
+	// Missing table-miss entry.
+	p = &Pipeline{Tables: [][]PipelineEntry{
+		{{Match: Match{HasDst: true, DstPort: 80}, Kind: InstrDrop}},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("missing table-miss accepted")
+	}
+}
+
+func TestPipelineClassifyCascade(t *testing.T) {
+	// Table 0: ACL stage (drop one source, else goto forwarding).
+	// Table 1: forwarding by destination with a rewrite.
+	p := &Pipeline{Tables: [][]PipelineEntry{
+		{
+			{Priority: 10, Match: Match{SrcPrefix: Prefix{IP: ip("10.9.0.0"), Len: 16}}, Kind: InstrDrop},
+			{Priority: 0, Kind: InstrGoto, Goto: 1},
+		},
+		{
+			{Priority: 10, Match: Match{DstPrefix: Prefix{IP: ip("10.0.2.0"), Len: 24}}, Kind: InstrOutput, OutPort: 2,
+				Rewrite: &header.Rewrite{SetDstPort: true, DstPort: 8080}},
+			missEntry(),
+		},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Denied at stage 0.
+	out, _ := p.Classify(1, header.Header{SrcIP: ip("10.9.1.1"), DstIP: ip("10.0.2.1")})
+	if out != topo.DropPort {
+		t.Fatalf("ACL stage failed: %s", out)
+	}
+	// Forwarded with the rewrite.
+	out, rw := p.Classify(1, header.Header{SrcIP: ip("10.8.1.1"), DstIP: ip("10.0.2.1")})
+	if out != 2 || rw == nil || !rw.SetDstPort || rw.DstPort != 8080 {
+		t.Fatalf("forwarding stage: out=%s rw=%v", out, rw)
+	}
+	// Unrouted traffic hits table 1's miss.
+	out, _ = p.Classify(1, header.Header{SrcIP: ip("10.8.1.1"), DstIP: ip("99.0.0.1")})
+	if out != topo.DropPort {
+		t.Fatalf("table-miss: %s", out)
+	}
+}
+
+func TestPipelineRewriteMerge(t *testing.T) {
+	// Both stages write fields; the later one wins per field.
+	p := &Pipeline{Tables: [][]PipelineEntry{
+		{{Priority: 1, Kind: InstrGoto, Goto: 1,
+			Rewrite: &header.Rewrite{SetDstIP: true, DstIP: 1, SetDstPort: true, DstPort: 1}}},
+		{{Priority: 1, Kind: InstrOutput, OutPort: 1,
+			Rewrite: &header.Rewrite{SetDstPort: true, DstPort: 2}}},
+	}}
+	// Add misses to satisfy validation.
+	p.Tables[0][0].Match = Match{}
+	p.Tables[1][0].Match = Match{}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, rw := p.Classify(1, header.Header{})
+	if rw == nil || rw.DstIP != 1 || rw.DstPort != 2 {
+		t.Fatalf("merge wrong: %v", rw)
+	}
+}
+
+func TestMatchIntersect(t *testing.T) {
+	a := Match{DstPrefix: Prefix{IP: ip("10.0.0.0"), Len: 8}, HasDst: true, DstPort: 80}
+	b := Match{DstPrefix: Prefix{IP: ip("10.1.0.0"), Len: 16}, InPort: 2}
+	got, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("compatible matches failed to intersect")
+	}
+	if got.DstPrefix.Len != 16 || got.InPort != 2 || !got.HasDst || got.DstPort != 80 {
+		t.Fatalf("intersection %v", got)
+	}
+	// Disjoint prefixes.
+	c := Match{DstPrefix: Prefix{IP: ip("11.0.0.0"), Len: 8}}
+	if _, ok := a.Intersect(c); ok {
+		t.Fatal("disjoint prefixes intersected")
+	}
+	// Conflicting exact fields / in-ports.
+	d := Match{HasDst: true, DstPort: 443}
+	if _, ok := a.Intersect(d); ok {
+		t.Fatal("conflicting ports intersected")
+	}
+	e := Match{InPort: 3}
+	if _, ok := b.Intersect(e); ok {
+		t.Fatal("conflicting in-ports intersected")
+	}
+}
+
+// randPipeline builds a random validated 2-3 stage pipeline.
+func randPipeline(rng *rand.Rand) *Pipeline {
+	nTables := 2 + rng.Intn(2)
+	p := &Pipeline{Tables: make([][]PipelineEntry, nTables)}
+	for t := 0; t < nTables; t++ {
+		nEntries := 1 + rng.Intn(4)
+		for i := 0; i < nEntries; i++ {
+			e := PipelineEntry{Priority: uint16(rng.Intn(20))}
+			if rng.Intn(2) == 0 {
+				e.Match.DstPrefix = Prefix{IP: uint32(10)<<24 | rng.Uint32()&0x00ffff00, Len: 16 + rng.Intn(9)}.Canonical()
+			}
+			if rng.Intn(4) == 0 {
+				e.Match.HasDst, e.Match.DstPort = true, uint16(rng.Intn(4))
+			}
+			if t < nTables-1 && rng.Intn(3) == 0 {
+				e.Kind = InstrGoto
+				e.Goto = t + 1 + rng.Intn(nTables-t-1)
+			} else if rng.Intn(5) == 0 {
+				e.Kind = InstrDrop
+			} else {
+				e.Kind = InstrOutput
+				e.OutPort = topo.PortID(rng.Intn(4) + 1)
+			}
+			if rng.Intn(4) == 0 {
+				e.Rewrite = &header.Rewrite{SetDstPort: true, DstPort: uint16(rng.Intn(100))}
+			}
+			p.Tables[t] = append(p.Tables[t], e)
+		}
+		// Mandatory miss: forward to a distinctive port or drop.
+		miss := missEntry()
+		if rng.Intn(2) == 0 {
+			miss.Kind = InstrOutput
+			miss.OutPort = 4
+		}
+		if t < nTables-1 && rng.Intn(3) == 0 {
+			miss.Kind = InstrGoto
+			miss.Goto = t + 1
+		}
+		p.Tables[t] = append(p.Tables[t], miss)
+	}
+	return p
+}
+
+// TestQuickFlattenEquivalence: Flatten preserves classification (port and
+// rewrite) for random pipelines and random packets — the compiler's
+// correctness property.
+func TestQuickFlattenEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 60; trial++ {
+		p := randPipeline(rng)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		flat, err := p.Flatten()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := &SwitchConfig{Ports: []topo.PortID{1, 2, 3, 4}, Table: flat,
+			InACL: map[topo.PortID]ACL{}, OutACL: map[topo.PortID]ACL{}}
+		for probe := 0; probe < 200; probe++ {
+			h := header.Header{
+				SrcIP:   rng.Uint32(),
+				DstIP:   uint32(10)<<24 | rng.Uint32()&0xffffff,
+				Proto:   6,
+				DstPort: uint16(rng.Intn(6)),
+			}
+			in := topo.PortID(rng.Intn(4) + 1)
+			wantOut, wantRW := p.Classify(in, h)
+			gotOut, gotRW := cfg.Forward(in, h)
+			if gotOut != wantOut {
+				t.Fatalf("trial %d: flatten diverged: pipeline %s, flat %s (h=%v)", trial, wantOut, gotOut, h)
+			}
+			if wantOut != topo.DropPort && !gotRW.Equal(wantRW) {
+				t.Fatalf("trial %d: rewrite diverged: %v vs %v", trial, wantRW, gotRW)
+			}
+		}
+	}
+}
+
+func TestFlattenedPipelineDrivesDataPlane(t *testing.T) {
+	// A realistic two-stage pipeline (ACL then forwarding) flattened and
+	// installed as a switch's physical table.
+	p := &Pipeline{Tables: [][]PipelineEntry{
+		{
+			{Priority: 10, Match: Match{SrcPrefix: Prefix{IP: ip("10.9.0.0"), Len: 16}}, Kind: InstrDrop},
+			{Priority: 0, Kind: InstrGoto, Goto: 1},
+		},
+		{
+			{Priority: 10, Match: Match{DstPrefix: Prefix{IP: ip("10.0.2.0"), Len: 24}}, Kind: InstrOutput, OutPort: 2},
+			missEntry(),
+		},
+	}}
+	flat, err := p.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Len() == 0 {
+		t.Fatal("empty flattened table")
+	}
+	cfg := &SwitchConfig{Ports: []topo.PortID{1, 2}, Table: flat,
+		InACL: map[topo.PortID]ACL{}, OutACL: map[topo.PortID]ACL{}}
+	if out := cfg.Classify(1, header.Header{SrcIP: ip("10.9.1.1"), DstIP: ip("10.0.2.1")}); out != topo.DropPort {
+		t.Fatal("ACL stage lost in flattening")
+	}
+	if out := cfg.Classify(1, header.Header{SrcIP: ip("10.8.1.1"), DstIP: ip("10.0.2.1")}); out != 2 {
+		t.Fatal("forwarding stage lost in flattening")
+	}
+}

@@ -1,0 +1,340 @@
+// Translation from switch configurations to transfer predicates — the
+// control-plane abstraction Algorithm 2 traverses (§4.1):
+//
+//	P_{x,y} = P_x^in ∧ P_y^fwd ∧ P_y^out                        (y ≠ ⊥)
+//	P_{x,⊥} = ¬P_x^in ∨ (P_x^in ∧ P_⊥^fwd)
+//	          ∨ (P_x^in ∧ ∨_y (P_y^fwd ∧ ¬P_y^out))
+//
+// where P_x^in / P_y^out are the in/out-bound ACL predicates and P_y^fwd is
+// the set of headers the prioritized forwarding table sends to port y.
+
+package flowtable
+
+import (
+	"veridp/internal/bdd"
+	"veridp/internal/header"
+	"veridp/internal/topo"
+)
+
+// SwitchConfig is the control plane's view of one switch: its real ports,
+// forwarding table, and per-port ACLs (absent entries mean permit-all).
+type SwitchConfig struct {
+	Ports  []topo.PortID
+	Table  *Table
+	InACL  map[topo.PortID]ACL
+	OutACL map[topo.PortID]ACL
+}
+
+// NewSwitchConfig returns a config with an empty table and no ACLs.
+func NewSwitchConfig(ports []topo.PortID) *SwitchConfig {
+	return &SwitchConfig{
+		Ports:  ports,
+		Table:  NewTable(),
+		InACL:  make(map[topo.PortID]ACL),
+		OutACL: make(map[topo.PortID]ACL),
+	}
+}
+
+// Classify runs the operational pipeline on one concrete packet: in-ACL,
+// prioritized table lookup, out-ACL. Every drop cause (ACL filter, no
+// match, explicit drop, nonexistent output port) maps to ⊥. The data-plane
+// switch and the verification server's intended-path computation share this
+// single definition, so the transfer predicates and the pipeline can never
+// disagree by construction drift.
+func (c *SwitchConfig) Classify(in topo.PortID, h header.Header) topo.PortID {
+	out, _ := c.Forward(in, h)
+	return out
+}
+
+// Forward is Classify plus the matched rule's rewrite (nil when none
+// applies or the packet drops). Out-ACLs are evaluated on the header as it
+// will leave the switch, i.e. after the rewrite.
+func (c *SwitchConfig) Forward(in topo.PortID, h header.Header) (topo.PortID, *header.Rewrite) {
+	if acl, ok := c.InACL[in]; ok && !acl.Allows(h) {
+		return topo.DropPort, nil
+	}
+	r := c.Table.Lookup(in, h)
+	if r == nil {
+		return topo.DropPort, nil
+	}
+	out := r.EffectiveOut()
+	if out == topo.DropPort {
+		return topo.DropPort, nil
+	}
+	valid := false
+	for _, p := range c.Ports {
+		if p == out {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return topo.DropPort, nil
+	}
+	rw := r.Rewrite
+	if rw.IsZero() {
+		rw = nil
+	}
+	if acl, ok := c.OutACL[out]; ok && !acl.Allows(rw.Apply(h)) {
+		return topo.DropPort, nil
+	}
+	return out, rw
+}
+
+// inPredicate returns P_x^in.
+func (c *SwitchConfig) inPredicate(s *header.Space, x topo.PortID) bdd.Ref {
+	if acl, ok := c.InACL[x]; ok {
+		return acl.Predicate(s)
+	}
+	return s.All()
+}
+
+// outPredicate returns P_y^out.
+func (c *SwitchConfig) outPredicate(s *header.Space, y topo.PortID) bdd.Ref {
+	if acl, ok := c.OutACL[y]; ok {
+		return acl.Predicate(s)
+	}
+	return s.All()
+}
+
+// usesInPort reports whether any rule constrains the input port, in which
+// case forwarding predicates differ per input port.
+func (c *SwitchConfig) usesInPort() bool {
+	for _, r := range c.Table.Rules() {
+		if r.Match.InPort != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForwardPredicates computes P_y^fwd for every output port y, including ⊥,
+// for packets arriving on inPort (pass 0 when no rule matches on input
+// port). The scan walks rules in match order, tracking the header set not
+// yet claimed by a higher-priority rule, so overlapping priorities resolve
+// exactly as Lookup does.
+func (c *SwitchConfig) ForwardPredicates(s *header.Space, inPort topo.PortID) map[topo.PortID]bdd.Ref {
+	preds := make(map[topo.PortID]bdd.Ref, len(c.Ports)+1)
+	for _, p := range c.Ports {
+		preds[p] = s.None()
+	}
+	preds[topo.DropPort] = s.None()
+	remaining := s.All()
+	for _, r := range c.Table.Rules() {
+		if remaining == bdd.False {
+			break
+		}
+		if r.Match.InPort != 0 && r.Match.InPort != inPort {
+			continue
+		}
+		m := r.Match.HeaderPredicate(s)
+		hit := s.T.And(remaining, m)
+		if hit == bdd.False {
+			continue
+		}
+		out := r.EffectiveOut()
+		if _, known := preds[out]; !known {
+			// Rule points at a nonexistent port: the packet vanishes,
+			// which the consistency model treats as a drop.
+			out = topo.DropPort
+		}
+		preds[out] = s.T.Or(preds[out], hit)
+		remaining = s.T.Diff(remaining, hit)
+	}
+	// Unmatched headers drop: P_⊥^fwd = ¬(∨_y P_y^fwd).
+	preds[topo.DropPort] = s.T.Or(preds[topo.DropPort], remaining)
+	return preds
+}
+
+// PortPair indexes a transfer predicate: packets entering In may leave Out.
+type PortPair struct {
+	In  topo.PortID
+	Out topo.PortID // may be topo.DropPort
+}
+
+// TransferEntry is one slice of a transfer function: packets matching
+// Guard leave through the pair's output port carrying Rewrite (nil for
+// unmodified forwarding). Entries of one pair have pairwise-disjoint
+// guards.
+type TransferEntry struct {
+	Guard   bdd.Ref
+	Rewrite *header.Rewrite
+}
+
+// TransferFuncs generalizes TransferPredicates to rewriting rules: for
+// every ⟨in, out⟩ pair, the guarded rewrites that apply. For configurations
+// without rewrites it degenerates to exactly one nil-rewrite entry per
+// pair, guard equal to the §4.1 transfer predicate. Out-bound ACLs are
+// evaluated on the post-rewrite header via preimages.
+func (c *SwitchConfig) TransferFuncs(s *header.Space) map[PortPair][]TransferEntry {
+	out := make(map[PortPair][]TransferEntry, len(c.Ports)*(len(c.Ports)+1))
+	addEntry := func(pp PortPair, guard bdd.Ref, rw *header.Rewrite) {
+		if guard == bdd.False {
+			return
+		}
+		for i := range out[pp] {
+			if out[pp][i].Rewrite.Equal(rw) {
+				out[pp][i].Guard = s.T.Or(out[pp][i].Guard, guard)
+				return
+			}
+		}
+		out[pp] = append(out[pp], TransferEntry{Guard: guard, Rewrite: rw})
+	}
+
+	// The expensive priority scan is input-port independent unless some
+	// rule matches on the input port; compute it once in that case and
+	// specialize per port only by the (cheap) in-ACL predicate.
+	perInput := c.usesInPort()
+	var sharedFlat []struct {
+		y     topo.PortID
+		guard bdd.Ref
+		rw    *header.Rewrite
+	}
+	var sharedDrop bdd.Ref
+	if !perInput {
+		sharedFlat, sharedDrop = c.scanRules(s, 0)
+	}
+
+	for _, x := range c.Ports {
+		flat, drop := sharedFlat, sharedDrop
+		if perInput {
+			flat, drop = c.scanRules(s, x)
+		}
+		pin := c.inPredicate(s, x)
+		if pin == bdd.True {
+			for _, fe := range flat {
+				addEntry(PortPair{x, fe.y}, fe.guard, fe.rw)
+			}
+			addEntry(PortPair{x, topo.DropPort}, drop, nil)
+			continue
+		}
+		for _, fe := range flat {
+			addEntry(PortPair{x, fe.y}, s.T.And(pin, fe.guard), fe.rw)
+		}
+		addEntry(PortPair{x, topo.DropPort},
+			s.T.Or(s.T.Not(pin), s.T.And(pin, drop)), nil)
+	}
+	return out
+}
+
+// scanRules runs the priority scan for packets arriving on inPort (0 when
+// no rule constrains the input port), without the in-ACL term. It returns
+// per-output guarded rewrites plus the drop guard.
+func (c *SwitchConfig) scanRules(s *header.Space, inPort topo.PortID) ([]struct {
+	y     topo.PortID
+	guard bdd.Ref
+	rw    *header.Rewrite
+}, bdd.Ref) {
+	type flatEntry = struct {
+		y     topo.PortID
+		guard bdd.Ref
+		rw    *header.Rewrite
+	}
+	var flat []flatEntry
+	drop := bdd.False
+	remaining := s.All()
+	outACLPred := map[topo.PortID]bdd.Ref{}
+	for _, r := range c.Table.Rules() {
+		if remaining == bdd.False {
+			break
+		}
+		if r.Match.InPort != 0 && r.Match.InPort != inPort {
+			continue
+		}
+		hit := s.T.And(remaining, r.Match.HeaderPredicate(s))
+		if hit == bdd.False {
+			continue
+		}
+		remaining = s.T.Diff(remaining, hit)
+
+		y := r.EffectiveOut()
+		if y != topo.DropPort && !validOut(c.Ports, y) {
+			y = topo.DropPort // nonexistent port: the packet drops
+		}
+		if y == topo.DropPort {
+			drop = s.T.Or(drop, hit)
+			continue
+		}
+		rw := r.Rewrite
+		if rw.IsZero() {
+			rw = nil
+		}
+		pass := hit
+		if acl, ok := c.OutACL[y]; ok {
+			p, cached := outACLPred[y]
+			if !cached {
+				p = acl.Predicate(s)
+				outACLPred[y] = p
+			}
+			allowed := s.Preimage(p, rw)
+			pass = s.T.And(hit, allowed)
+			drop = s.T.Or(drop, s.T.Diff(hit, allowed))
+		}
+		// Merge into an existing (y, rw) bucket.
+		merged := false
+		for i := range flat {
+			if flat[i].y == y && flat[i].rw.Equal(rw) {
+				flat[i].guard = s.T.Or(flat[i].guard, pass)
+				merged = true
+				break
+			}
+		}
+		if !merged && pass != bdd.False {
+			flat = append(flat, flatEntry{y: y, guard: pass, rw: rw})
+		}
+	}
+	drop = s.T.Or(drop, remaining) // unmatched headers drop
+	return flat, drop
+}
+
+func validOut(ports []topo.PortID, p topo.PortID) bool {
+	for _, q := range ports {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// TransferPredicates computes P_{x,y} for every input port x and output
+// port y ∈ Ports ∪ {⊥}, composing ACLs and forwarding per the §4.1
+// equations. This is the whole-switch computation used for initial
+// path-table construction; §4.4's incremental path goes through PrefixTree.
+func (c *SwitchConfig) TransferPredicates(s *header.Space) map[PortPair]bdd.Ref {
+	out := make(map[PortPair]bdd.Ref, len(c.Ports)*(len(c.Ports)+1))
+
+	// Forwarding predicates: shared across input ports unless some rule
+	// matches on the input port.
+	perInput := c.usesInPort()
+	var shared map[topo.PortID]bdd.Ref
+	if !perInput {
+		shared = c.ForwardPredicates(s, 0)
+	}
+
+	// Out-ACL predicates are input-independent; compute once.
+	outPred := make(map[topo.PortID]bdd.Ref, len(c.Ports))
+	for _, y := range c.Ports {
+		outPred[y] = c.outPredicate(s, y)
+	}
+
+	for _, x := range c.Ports {
+		fwd := shared
+		if perInput {
+			fwd = c.ForwardPredicates(s, x)
+		}
+		pin := c.inPredicate(s, x)
+
+		// Drop predicate accumulates its three causes.
+		drop := s.T.Not(pin)                                  // filtered by in-ACL
+		drop = s.T.Or(drop, s.T.And(pin, fwd[topo.DropPort])) // not forwarded
+
+		for _, y := range c.Ports {
+			pxy := s.T.And(pin, s.T.And(fwd[y], outPred[y]))
+			out[PortPair{x, y}] = pxy
+			blocked := s.T.And(fwd[y], s.T.Not(outPred[y])) // filtered by out-ACL
+			drop = s.T.Or(drop, s.T.And(pin, blocked))
+		}
+		out[PortPair{x, topo.DropPort}] = drop
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+// The prefix tree of §4.4: destination-prefix forwarding rules organized by
+// prefix containment, with a virtual drop rule at 0.0.0.0/0 turning the
+// forest into a tree. The tree maintains per-output-port predicates
+// incrementally — adding or deleting a rule touches exactly two ports:
+//
+//	add R (out x, parent out y):   P_x ← P_x ∨ R.match,  P_y ← P_y ∧ ¬R.match
+//	del R (out x, parent out y):   P_x ← P_x ∧ ¬R.match, P_y ← P_y ∨ R.match
+//
+// where R.match = R.prefix ∧ ¬(∨ children prefixes) is the longest-match
+// exclusive header set of the rule.
+
+package flowtable
+
+import (
+	"fmt"
+
+	"veridp/internal/bdd"
+	"veridp/internal/header"
+	"veridp/internal/topo"
+)
+
+// pnode is one tree node: a rule plus the rules immediately nested inside
+// its prefix.
+type pnode struct {
+	id       uint64
+	prefix   Prefix
+	outPort  topo.PortID // topo.DropPort for the virtual root
+	children []*pnode
+}
+
+// PrefixTree holds one switch's destination-prefix rules and their
+// incrementally-maintained port predicates.
+type PrefixTree struct {
+	space  *header.Space
+	root   *pnode
+	byID   map[uint64]*pnode
+	preds  map[topo.PortID]bdd.Ref
+	nextID uint64
+}
+
+// Delta describes the header-space change one rule add/delete caused: the
+// set Δ moved from port From to port To. The path-table updater (§4.4,
+// "path entry update") consumes it.
+type Delta struct {
+	Set  bdd.Ref
+	From topo.PortID
+	To   topo.PortID
+}
+
+// NewPrefixTree returns a tree over the given real ports, initially
+// dropping everything (only the virtual 0.0.0.0/0 drop rule is present).
+func NewPrefixTree(s *header.Space, ports []topo.PortID) *PrefixTree {
+	t := &PrefixTree{
+		space:  s,
+		root:   &pnode{prefix: Prefix{0, 0}, outPort: topo.DropPort},
+		byID:   make(map[uint64]*pnode),
+		preds:  make(map[topo.PortID]bdd.Ref, len(ports)+1),
+		nextID: 1,
+	}
+	for _, p := range ports {
+		t.preds[p] = bdd.False
+	}
+	t.preds[topo.DropPort] = bdd.True
+	return t
+}
+
+// Predicate returns the current P_y for the port (False for unknown ports).
+func (t *PrefixTree) Predicate(y topo.PortID) bdd.Ref {
+	if r, ok := t.preds[y]; ok {
+		return r
+	}
+	return bdd.False
+}
+
+// Predicates returns the full port→predicate map (shared; do not mutate).
+func (t *PrefixTree) Predicates() map[topo.PortID]bdd.Ref { return t.preds }
+
+// Len returns the number of real (non-virtual) rules in the tree.
+func (t *PrefixTree) Len() int { return len(t.byID) }
+
+// findParent descends from the root to the deepest node whose prefix
+// contains p, which will be the new rule's parent.
+func (t *PrefixTree) findParent(p Prefix) *pnode {
+	cur := t.root
+descend:
+	for {
+		for _, c := range cur.children {
+			if c.prefix.Contains(p) {
+				cur = c
+				continue descend
+			}
+		}
+		return cur
+	}
+}
+
+// match computes R.match for a node: its prefix minus its children's
+// prefixes.
+func (t *PrefixTree) match(n *pnode) bdd.Ref {
+	m := t.space.DstIPPrefix(n.prefix.IP, n.prefix.Len)
+	for _, c := range n.children {
+		m = t.space.T.Diff(m, t.space.DstIPPrefix(c.prefix.IP, c.prefix.Len))
+	}
+	return m
+}
+
+// Insert adds a destination-prefix rule forwarding to outPort and returns
+// its assigned ID and the predicate delta. Duplicate prefixes are rejected:
+// longest-prefix match cannot disambiguate them.
+func (t *PrefixTree) Insert(p Prefix, outPort topo.PortID) (uint64, Delta, error) {
+	p = p.Canonical()
+	if _, known := t.preds[outPort]; !known {
+		return 0, Delta{}, fmt.Errorf("flowtable: prefix tree has no port %s", outPort)
+	}
+	parent := t.findParent(p)
+	if parent.prefix.Equal(p) && parent != t.root {
+		return 0, Delta{}, fmt.Errorf("flowtable: duplicate prefix %s", p)
+	}
+	if parent == t.root && p.Len == 0 {
+		return 0, Delta{}, fmt.Errorf("flowtable: cannot install 0.0.0.0/0 over the virtual root")
+	}
+	n := &pnode{id: t.nextID, prefix: p, outPort: outPort}
+	t.nextID++
+
+	// Children of the parent that nest inside p move under n.
+	kept := parent.children[:0]
+	for _, c := range parent.children {
+		if p.Contains(c.prefix) {
+			n.children = append(n.children, c)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	parent.children = append(kept, n)
+	t.byID[n.id] = n
+
+	delta := t.match(n)
+	// A child forwarding to its parent's port changes no predicate: the
+	// same headers keep flowing to the same port (From == To).
+	if parent.outPort != outPort {
+		t.preds[outPort] = t.space.T.Or(t.preds[outPort], delta)
+		t.preds[parent.outPort] = t.space.T.Diff(t.preds[parent.outPort], delta)
+	}
+	return n.id, Delta{Set: delta, From: parent.outPort, To: outPort}, nil
+}
+
+// Remove deletes the rule with the given ID and returns the predicate
+// delta: its exclusive match reverts to the parent's port.
+func (t *PrefixTree) Remove(id uint64) (Delta, error) {
+	n, ok := t.byID[id]
+	if !ok {
+		return Delta{}, fmt.Errorf("flowtable: prefix tree has no rule %d", id)
+	}
+	parent := t.parentOf(n)
+	delta := t.match(n)
+
+	// Children revert to the parent.
+	kept := parent.children[:0]
+	for _, c := range parent.children {
+		if c != n {
+			kept = append(kept, c)
+		}
+	}
+	parent.children = append(kept, n.children...)
+	delete(t.byID, id)
+
+	if n.outPort != parent.outPort {
+		t.preds[n.outPort] = t.space.T.Diff(t.preds[n.outPort], delta)
+		t.preds[parent.outPort] = t.space.T.Or(t.preds[parent.outPort], delta)
+	}
+	return Delta{Set: delta, From: n.outPort, To: parent.outPort}, nil
+}
+
+// parentOf walks from the root to n's parent. The tree is shallow in
+// practice (forwarding tables nest a few levels deep), so the walk is cheap.
+func (t *PrefixTree) parentOf(n *pnode) *pnode {
+	cur := t.root
+descend:
+	for {
+		for _, c := range cur.children {
+			if c == n {
+				return cur
+			}
+			if c.prefix.Contains(n.prefix) {
+				cur = c
+				continue descend
+			}
+		}
+		// Unreachable for nodes present in the tree.
+		panic("flowtable: prefix tree parent not found")
+	}
+}
+
+// LookupPort returns the output port longest-prefix matching dst — the
+// reference semantics the predicates must agree with (tested by property
+// tests).
+func (t *PrefixTree) LookupPort(dst uint32) topo.PortID {
+	cur := t.root
+descend:
+	for {
+		for _, c := range cur.children {
+			if c.prefix.Matches(dst) {
+				cur = c
+				continue descend
+			}
+		}
+		return cur.outPort
+	}
+}

@@ -1,0 +1,223 @@
+package flowtable
+
+import (
+	"math/rand"
+	"testing"
+
+	"veridp/internal/bdd"
+	"veridp/internal/header"
+	"veridp/internal/topo"
+)
+
+func TestPrefixTreeEmpty(t *testing.T) {
+	s := header.NewSpace()
+	pt := NewPrefixTree(s, []topo.PortID{1, 2})
+	if pt.Len() != 0 {
+		t.Fatal("fresh tree not empty")
+	}
+	if pt.Predicate(topo.DropPort) != bdd.True {
+		t.Fatal("empty tree should drop everything")
+	}
+	if pt.Predicate(1) != bdd.False || pt.Predicate(99) != bdd.False {
+		t.Fatal("empty tree has nonempty port predicates")
+	}
+	if pt.LookupPort(ip("1.2.3.4")) != topo.DropPort {
+		t.Fatal("empty tree should LPM to ⊥")
+	}
+}
+
+func TestPrefixTreeInsertDelta(t *testing.T) {
+	s := header.NewSpace()
+	pt := NewPrefixTree(s, []topo.PortID{1, 2})
+	_, d, err := pt.Insert(Prefix{ip("10.0.0.0"), 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.From != topo.DropPort || d.To != 1 {
+		t.Fatalf("delta ports = %s→%s, want ⊥→1", d.From, d.To)
+	}
+	if d.Set != s.DstIPPrefix(ip("10.0.0.0"), 8) {
+		t.Fatal("delta set should be the whole /8 (no children yet)")
+	}
+	// Nested rule: delta carves out of the /8.
+	_, d2, err := pt.Insert(Prefix{ip("10.1.0.0"), 16}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.From != 1 || d2.To != 2 {
+		t.Fatalf("nested delta ports = %s→%s, want 1→2", d2.From, d2.To)
+	}
+	if d2.Set != s.DstIPPrefix(ip("10.1.0.0"), 16) {
+		t.Fatal("nested delta should be the /16")
+	}
+	// Port predicate for 1 excludes the /16 now.
+	if s.Contains(pt.Predicate(1), header.Header{DstIP: ip("10.1.2.3")}) {
+		t.Fatal("parent predicate still contains the nested /16")
+	}
+	if !s.Contains(pt.Predicate(2), header.Header{DstIP: ip("10.1.2.3")}) {
+		t.Fatal("child predicate missing its /16")
+	}
+}
+
+func TestPrefixTreeReparenting(t *testing.T) {
+	s := header.NewSpace()
+	pt := NewPrefixTree(s, []topo.PortID{1, 2, 3})
+	// Insert the /24 first, then a covering /16: the /24 must be
+	// re-parented under the /16 and the /16's match must exclude it.
+	pt.Insert(Prefix{ip("10.1.1.0"), 24}, 1)
+	_, d, err := pt.Insert(Prefix{ip("10.1.0.0"), 16}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.T.Diff(s.DstIPPrefix(ip("10.1.0.0"), 16), s.DstIPPrefix(ip("10.1.1.0"), 24))
+	if d.Set != want {
+		t.Fatal("covering rule's delta should exclude the pre-existing /24")
+	}
+	if pt.LookupPort(ip("10.1.1.7")) != 1 {
+		t.Fatal("/24 no longer wins LPM after re-parenting")
+	}
+	if pt.LookupPort(ip("10.1.2.7")) != 2 {
+		t.Fatal("/16 should win outside the /24")
+	}
+}
+
+func TestPrefixTreeRemove(t *testing.T) {
+	s := header.NewSpace()
+	pt := NewPrefixTree(s, []topo.PortID{1, 2})
+	id8, _, _ := pt.Insert(Prefix{ip("10.0.0.0"), 8}, 1)
+	id16, _, _ := pt.Insert(Prefix{ip("10.1.0.0"), 16}, 2)
+
+	// Removing the /16 reverts its space to the /8.
+	d, err := pt.Remove(id16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.From != 2 || d.To != 1 {
+		t.Fatalf("remove delta = %s→%s, want 2→1", d.From, d.To)
+	}
+	if pt.LookupPort(ip("10.1.2.3")) != 1 {
+		t.Fatal("space did not revert to parent")
+	}
+	// Removing the /8 reverts to drop.
+	if _, err := pt.Remove(id8); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Predicate(topo.DropPort) != bdd.True {
+		t.Fatal("tree did not return to drop-everything")
+	}
+	if _, err := pt.Remove(id8); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestPrefixTreeRemoveMiddleKeepsGrandchildren(t *testing.T) {
+	s := header.NewSpace()
+	pt := NewPrefixTree(s, []topo.PortID{1, 2, 3})
+	pt.Insert(Prefix{ip("10.0.0.0"), 8}, 1)
+	id16, _, _ := pt.Insert(Prefix{ip("10.1.0.0"), 16}, 2)
+	pt.Insert(Prefix{ip("10.1.1.0"), 24}, 3)
+
+	pt.Remove(id16)
+	if pt.LookupPort(ip("10.1.1.9")) != 3 {
+		t.Fatal("grandchild lost after middle removal")
+	}
+	if pt.LookupPort(ip("10.1.2.9")) != 1 {
+		t.Fatal("middle space did not revert to grandparent")
+	}
+}
+
+func TestPrefixTreeErrors(t *testing.T) {
+	s := header.NewSpace()
+	pt := NewPrefixTree(s, []topo.PortID{1})
+	if _, _, err := pt.Insert(Prefix{ip("10.0.0.0"), 8}, 9); err == nil {
+		t.Fatal("unknown port accepted")
+	}
+	if _, _, err := pt.Insert(Prefix{0, 0}, 1); err == nil {
+		t.Fatal("default route over virtual root accepted")
+	}
+	pt.Insert(Prefix{ip("10.0.0.0"), 8}, 1)
+	if _, _, err := pt.Insert(Prefix{ip("10.0.0.0"), 8}, 1); err == nil {
+		t.Fatal("duplicate prefix accepted")
+	}
+}
+
+// TestPrefixTreeMatchesIncrementalVsScratch: after a random add/remove
+// workload, the incrementally-maintained predicates equal predicates
+// computed from scratch on an equivalent priority table — the §4.4
+// correctness claim.
+func TestPrefixTreeMatchesIncrementalVsScratch(t *testing.T) {
+	s := header.NewSpace()
+	ports := []topo.PortID{1, 2, 3, 4}
+	pt := NewPrefixTree(s, ports)
+	rng := rand.New(rand.NewSource(7))
+
+	type live struct {
+		id   uint64
+		pfx  Prefix
+		port topo.PortID
+	}
+	var rules []live
+	for step := 0; step < 300; step++ {
+		if len(rules) == 0 || rng.Intn(3) != 0 {
+			pfx := Prefix{rng.Uint32(), 8 + rng.Intn(17)}.Canonical()
+			port := ports[rng.Intn(len(ports))]
+			id, _, err := pt.Insert(pfx, port)
+			if err != nil {
+				continue // duplicate prefix; skip
+			}
+			rules = append(rules, live{id, pfx, port})
+		} else {
+			i := rng.Intn(len(rules))
+			if _, err := pt.Remove(rules[i].id); err != nil {
+				t.Fatal(err)
+			}
+			rules = append(rules[:i], rules[i+1:]...)
+		}
+	}
+
+	// Scratch recomputation: LPM as a priority table (priority = length).
+	cfg := NewSwitchConfig(ports)
+	for _, r := range rules {
+		cfg.Table.Add(&Rule{
+			Priority: uint16(r.pfx.Len),
+			Match:    Match{DstPrefix: r.pfx},
+			Action:   ActOutput,
+			OutPort:  r.port,
+		})
+	}
+	scratch := cfg.ForwardPredicates(s, 0)
+	for _, p := range append([]topo.PortID{topo.DropPort}, ports...) {
+		if pt.Predicate(p) != scratch[p] {
+			t.Fatalf("incremental predicate for port %s diverged from scratch recomputation", p)
+		}
+	}
+}
+
+// TestPrefixTreeLPMAgreesWithPredicates: LookupPort and the predicates give
+// the same answer for random addresses.
+func TestPrefixTreeLPMAgreesWithPredicates(t *testing.T) {
+	s := header.NewSpace()
+	ports := []topo.PortID{1, 2, 3}
+	pt := NewPrefixTree(s, ports)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 100; i++ {
+		pfx := Prefix{rng.Uint32() & 0x0fffffff, 4 + rng.Intn(25)}.Canonical()
+		pt.Insert(pfx, ports[rng.Intn(len(ports))])
+	}
+	for trial := 0; trial < 1000; trial++ {
+		dst := rng.Uint32() & 0x1fffffff
+		want := pt.LookupPort(dst)
+		hits := 0
+		var got topo.PortID
+		for _, p := range append([]topo.PortID{topo.DropPort}, ports...) {
+			if s.Contains(pt.Predicate(p), header.Header{DstIP: dst}) {
+				hits++
+				got = p
+			}
+		}
+		if hits != 1 || got != want {
+			t.Fatalf("dst %s: LPM says %s, predicates say %s (hits=%d)",
+				header.IPString(dst), want, got, hits)
+		}
+	}
+}

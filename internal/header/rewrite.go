@@ -1,0 +1,143 @@
+// Header rewrites — the paper's future work item (1): "incorporating
+// header rewrites into the current VeriDP framework, in order to support
+// actions that need to modify packet headers" (§8).
+//
+// A Rewrite pins selected 5-tuple fields to new values (the OpenFlow
+// set-field actions NAT, load balancing, and service chaining use). The
+// concrete form applies to one packet; Transform lifts it to header sets:
+// existentially quantify the rewritten field's variables, then constrain
+// them to the new value — exactly the image of the set under the rewrite.
+
+package header
+
+import (
+	"fmt"
+	"strings"
+
+	"veridp/internal/bdd"
+)
+
+// Rewrite pins selected header fields to fixed values.
+type Rewrite struct {
+	SetSrcIP   bool
+	SrcIP      uint32
+	SetDstIP   bool
+	DstIP      uint32
+	SetSrcPort bool
+	SrcPort    uint16
+	SetDstPort bool
+	DstPort    uint16
+}
+
+// IsZero reports whether the rewrite changes nothing.
+func (rw *Rewrite) IsZero() bool {
+	return rw == nil || !(rw.SetSrcIP || rw.SetDstIP || rw.SetSrcPort || rw.SetDstPort)
+}
+
+// Apply returns the rewritten header.
+func (rw *Rewrite) Apply(h Header) Header {
+	if rw == nil {
+		return h
+	}
+	if rw.SetSrcIP {
+		h.SrcIP = rw.SrcIP
+	}
+	if rw.SetDstIP {
+		h.DstIP = rw.DstIP
+	}
+	if rw.SetSrcPort {
+		h.SrcPort = rw.SrcPort
+	}
+	if rw.SetDstPort {
+		h.DstPort = rw.DstPort
+	}
+	return h
+}
+
+// String renders the rewrite's assignments.
+func (rw *Rewrite) String() string {
+	if rw.IsZero() {
+		return "rewrite{}"
+	}
+	var parts []string
+	if rw.SetSrcIP {
+		parts = append(parts, "src="+IPString(rw.SrcIP))
+	}
+	if rw.SetDstIP {
+		parts = append(parts, "dst="+IPString(rw.DstIP))
+	}
+	if rw.SetSrcPort {
+		parts = append(parts, fmt.Sprintf("sport=%d", rw.SrcPort))
+	}
+	if rw.SetDstPort {
+		parts = append(parts, fmt.Sprintf("dport=%d", rw.DstPort))
+	}
+	return "rewrite{" + strings.Join(parts, ",") + "}"
+}
+
+// Equal compares two rewrites (nil equals the zero rewrite).
+func (rw *Rewrite) Equal(o *Rewrite) bool {
+	a, b := Rewrite{}, Rewrite{}
+	if rw != nil {
+		a = *rw
+	}
+	if o != nil {
+		b = *o
+	}
+	return a == b
+}
+
+// Preimage returns {h : rw.Apply(h) ∈ set}: the headers that land inside
+// set after the rewrite. Used to evaluate out-bound ACLs, which see the
+// rewritten packet, against pre-rewrite header sets.
+func (s *Space) Preimage(set bdd.Ref, rw *Rewrite) bdd.Ref {
+	if rw.IsZero() || set == bdd.False || set == bdd.True {
+		return set
+	}
+	out := set
+	apply := func(offset, bits int, value uint32) {
+		// Fix the field to its post-rewrite value, then free it: the
+		// original field value is unconstrained.
+		out = s.T.And(out, s.fieldEq(offset, bits, value))
+		out = s.T.Exists(out, offset, offset+bits-1)
+	}
+	if rw.SetSrcIP {
+		apply(SrcIPOffset, SrcIPBits, rw.SrcIP)
+	}
+	if rw.SetDstIP {
+		apply(DstIPOffset, DstIPBits, rw.DstIP)
+	}
+	if rw.SetSrcPort {
+		apply(SrcPortOffset, SrcPortBits, uint32(rw.SrcPort))
+	}
+	if rw.SetDstPort {
+		apply(DstPortOffset, DstPortBits, uint32(rw.DstPort))
+	}
+	return out
+}
+
+// Transform returns the image of a header set under the rewrite: exactly
+// the headers rw.Apply can produce from members of the set.
+func (s *Space) Transform(set bdd.Ref, rw *Rewrite) bdd.Ref {
+	if rw.IsZero() || set == bdd.False {
+		return set
+	}
+	out := set
+	apply := func(offset, bits int, value uint32) {
+		out = s.T.Exists(out, offset, offset+bits-1)
+		out = s.T.And(out, s.fieldEq(offset, bits, value))
+	}
+	if rw.SetSrcIP {
+		apply(SrcIPOffset, SrcIPBits, rw.SrcIP)
+	}
+	if rw.SetDstIP {
+		apply(DstIPOffset, DstIPBits, rw.DstIP)
+	}
+	if rw.SetSrcPort {
+		apply(SrcPortOffset, SrcPortBits, uint32(rw.SrcPort))
+	}
+	if rw.SetDstPort {
+		apply(DstPortOffset, DstPortBits, uint32(rw.DstPort))
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package header
+
+import (
+	"math/rand"
+	"testing"
+
+	"veridp/internal/bdd"
+)
+
+func TestRewriteApply(t *testing.T) {
+	rw := &Rewrite{SetDstIP: true, DstIP: MustParseIP("10.0.9.9"), SetDstPort: true, DstPort: 8080}
+	h := Header{SrcIP: 1, DstIP: 2, Proto: ProtoTCP, SrcPort: 3, DstPort: 80}
+	got := rw.Apply(h)
+	if got.DstIP != MustParseIP("10.0.9.9") || got.DstPort != 8080 {
+		t.Fatalf("rewrite not applied: %v", got)
+	}
+	if got.SrcIP != 1 || got.SrcPort != 3 || got.Proto != ProtoTCP {
+		t.Fatalf("rewrite touched unrelated fields: %v", got)
+	}
+	var nilRW *Rewrite
+	if nilRW.Apply(h) != h {
+		t.Fatal("nil rewrite should be identity")
+	}
+	if !nilRW.IsZero() || !(&Rewrite{}).IsZero() || rw.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+	if !nilRW.Equal(&Rewrite{}) || rw.Equal(nilRW) {
+		t.Fatal("Equal wrong")
+	}
+	if rw.String() == "rewrite{}" {
+		t.Fatal("String lost assignments")
+	}
+}
+
+func TestTransformSingleton(t *testing.T) {
+	s := NewSpace()
+	h := Header{SrcIP: MustParseIP("10.0.1.1"), DstIP: MustParseIP("172.16.0.1"), Proto: ProtoTCP, SrcPort: 5555, DstPort: 80}
+	rw := &Rewrite{SetDstIP: true, DstIP: MustParseIP("10.0.2.1")}
+	set := s.HeaderSet(h)
+	img := s.Transform(set, rw)
+	if got := s.T.SatCount(img); got != 1 {
+		t.Fatalf("image of a singleton has SatCount %v", got)
+	}
+	if !s.Contains(img, rw.Apply(h)) {
+		t.Fatal("image misses the rewritten header")
+	}
+	if s.Contains(img, h) {
+		t.Fatal("image still contains the original header")
+	}
+}
+
+func TestTransformCollapsesField(t *testing.T) {
+	s := NewSpace()
+	// A whole /24 of destinations NATs onto one backend: the image pins
+	// dst entirely, keeping everything else free.
+	set := s.DstIPPrefix(MustParseIP("192.168.1.0"), 24)
+	rw := &Rewrite{SetDstIP: true, DstIP: MustParseIP("10.0.2.1")}
+	img := s.Transform(set, rw)
+	if img != s.DstIPEq(MustParseIP("10.0.2.1")) {
+		t.Fatal("image should be exactly dst == backend")
+	}
+	// Transform of False is False; zero rewrite is identity.
+	if s.Transform(bdd.False, rw) != bdd.False {
+		t.Fatal("image of empty set non-empty")
+	}
+	if s.Transform(set, nil) != set || s.Transform(set, &Rewrite{}) != set {
+		t.Fatal("zero rewrite not identity")
+	}
+}
+
+// Property: h' ∈ Transform(S, rw) iff h' = rw.Apply(h) for some h ∈ S —
+// checked on prefix-shaped sets where membership of preimages is decidable
+// by arithmetic.
+func TestQuickTransformSemantics(t *testing.T) {
+	s := NewSpace()
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 200; trial++ {
+		plen := rng.Intn(25)
+		base := rng.Uint32()
+		set := s.DstIPPrefix(base, plen)
+		set = s.T.And(set, s.SrcPortEq(uint16(rng.Intn(65536))))
+		rw := &Rewrite{}
+		if rng.Intn(2) == 0 {
+			rw.SetDstIP, rw.DstIP = true, rng.Uint32()
+		}
+		if rng.Intn(2) == 0 {
+			rw.SetSrcPort, rw.SrcPort = true, uint16(rng.Intn(65536))
+		}
+		img := s.Transform(set, rw)
+
+		// Probe with the rewritten version of a member and a non-member.
+		member, ok := s.Witness(set)
+		if !ok {
+			continue
+		}
+		if !s.Contains(img, rw.Apply(member)) {
+			t.Fatalf("trial %d: rewritten member missing from image", trial)
+		}
+		probe := member
+		probe.DstIP = ^probe.DstIP // usually leaves the prefix
+		probe = rw.Apply(probe)
+		inSet := s.Contains(set, Header{SrcIP: probe.SrcIP, DstIP: probePreimageDst(rw, probe, member), Proto: probe.Proto, SrcPort: preimageSrcPort(rw, probe, member), DstPort: probe.DstPort})
+		if !inSet && !rw.SetDstIP {
+			// Without a dst rewrite the image keeps the prefix constraint;
+			// the flipped dst must be outside unless it still matches.
+			if s.Contains(img, probe) != s.Contains(set, probe) {
+				t.Fatalf("trial %d: identity-field membership diverged", trial)
+			}
+		}
+	}
+}
+
+// probePreimageDst/preimageSrcPort reconstruct a candidate preimage field:
+// rewritten fields came from the member; untouched fields from the probe.
+func probePreimageDst(rw *Rewrite, probe, member Header) uint32 {
+	if rw.SetDstIP {
+		return member.DstIP
+	}
+	return probe.DstIP
+}
+
+func preimageSrcPort(rw *Rewrite, probe, member Header) uint16 {
+	if rw.SetSrcPort {
+		return member.SrcPort
+	}
+	return probe.SrcPort
+}

@@ -1,0 +1,166 @@
+// Wildcard-expression header sets: the baseline representation that §4.1
+// rejects. Each Wildcard is a ternary string over the 104 header bits
+// (0, 1, or *); a WildcardSet is a union of such strings. The representation
+// is exact but explodes combinatorially under complement and difference —
+// this package exists so the ablation benchmarks can measure that explosion
+// against BDDs on the same inputs.
+
+package header
+
+import (
+	"strings"
+
+	"veridp/internal/bdd"
+)
+
+// Wildcard is one ternary match over the header bits. Bits use the same
+// encoding as bdd assignments: 0, 1, or bdd.DontCare.
+type Wildcard [NumVars]byte
+
+// String renders the wildcard as a 104-character ternary string.
+func (w Wildcard) String() string {
+	var b strings.Builder
+	b.Grow(NumVars)
+	for _, v := range w {
+		switch v {
+		case 0:
+			b.WriteByte('0')
+		case 1:
+			b.WriteByte('1')
+		default:
+			b.WriteByte('*')
+		}
+	}
+	return b.String()
+}
+
+// MatchAll returns the wildcard that matches every header.
+func MatchAll() Wildcard {
+	var w Wildcard
+	for i := range w {
+		w[i] = bdd.DontCare
+	}
+	return w
+}
+
+// Matches reports whether the concrete header satisfies the wildcard.
+func (w Wildcard) Matches(s *Space, h Header) bool {
+	a := s.assignment(h)
+	for i, v := range w {
+		if v != bdd.DontCare && v != a[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the bitwise intersection of two wildcards and whether it
+// is non-empty (a 0 meeting a 1 empties the intersection).
+func (w Wildcard) Intersect(o Wildcard) (Wildcard, bool) {
+	var out Wildcard
+	for i := range w {
+		a, b := w[i], o[i]
+		switch {
+		case a == bdd.DontCare:
+			out[i] = b
+		case b == bdd.DontCare:
+			out[i] = a
+		case a == b:
+			out[i] = a
+		default:
+			return Wildcard{}, false
+		}
+	}
+	return out, true
+}
+
+// Subtract returns w \ o as a union of wildcards. Each fixed bit of o splits
+// w into at most one residual wildcard, so the result has at most one
+// wildcard per fixed bit of o — the combinatorial growth §4.1 warns about.
+func (w Wildcard) Subtract(o Wildcard) []Wildcard {
+	if _, ok := w.Intersect(o); !ok {
+		return []Wildcard{w} // disjoint: nothing to remove
+	}
+	var out []Wildcard
+	cur := w
+	for i := range w {
+		if o[i] == bdd.DontCare || w[i] != bdd.DontCare {
+			continue
+		}
+		// w is free at bit i but o fixes it: the half where they differ
+		// survives subtraction.
+		piece := cur
+		piece[i] = 1 - o[i]
+		out = append(out, piece)
+		cur[i] = o[i]
+	}
+	// The remaining cur is exactly the intersection with o and is removed.
+	return out
+}
+
+// BDD converts the wildcard to its BDD representation in the given space.
+func (w Wildcard) BDD(s *Space) bdd.Ref {
+	vars := make([]int, 0, NumVars)
+	values := make([]bool, 0, NumVars)
+	for i, v := range w {
+		if v == bdd.DontCare {
+			continue
+		}
+		vars = append(vars, i)
+		values = append(values, v == 1)
+	}
+	return s.T.Cube(vars, values)
+}
+
+// WildcardSet is a union of wildcards: the header-set representation used by
+// Header Space Analysis, kept here purely as the measurable baseline.
+type WildcardSet struct {
+	Terms []Wildcard
+}
+
+// Len returns the number of wildcard terms — the §4.1 cost metric.
+func (ws *WildcardSet) Len() int { return len(ws.Terms) }
+
+// Add unions one wildcard into the set (no redundancy elimination; the point
+// of the baseline is to observe growth).
+func (ws *WildcardSet) Add(w Wildcard) { ws.Terms = append(ws.Terms, w) }
+
+// IntersectWildcard intersects the whole set with one wildcard.
+func (ws *WildcardSet) IntersectWildcard(w Wildcard) *WildcardSet {
+	out := &WildcardSet{}
+	for _, t := range ws.Terms {
+		if x, ok := t.Intersect(w); ok {
+			out.Add(x)
+		}
+	}
+	return out
+}
+
+// SubtractWildcard subtracts one wildcard from every term of the set.
+func (ws *WildcardSet) SubtractWildcard(w Wildcard) *WildcardSet {
+	out := &WildcardSet{}
+	for _, t := range ws.Terms {
+		out.Terms = append(out.Terms, t.Subtract(w)...)
+	}
+	return out
+}
+
+// Matches reports whether any term matches the header.
+func (ws *WildcardSet) Matches(s *Space, h Header) bool {
+	for _, t := range ws.Terms {
+		if t.Matches(s, h) {
+			return true
+		}
+	}
+	return false
+}
+
+// BDD converts the whole set to a BDD for cross-checking against the
+// first-class representation.
+func (ws *WildcardSet) BDD(s *Space) bdd.Ref {
+	r := bdd.False
+	for _, t := range ws.Terms {
+		r = s.T.Or(r, t.BDD(s))
+	}
+	return r
+}

@@ -1,0 +1,290 @@
+// Package netfile loads network descriptions — topology, hosts,
+// middleboxes, and flow rules — from a JSON document, so the command-line
+// tools can run user-defined deployments instead of only the built-in
+// topologies. The format:
+//
+//	{
+//	  "switches":    [{"name": "s1", "ports": 4}],
+//	  "links":       [{"a": "s1:3", "b": "s2:1"}],
+//	  "hosts":       [{"name": "h1", "ip": "10.0.1.1", "attach": "s1:1"}],
+//	  "middleboxes": ["s2:3"],
+//	  "rules": [{
+//	    "switch": "s1", "priority": 20,
+//	    "match":  {"dst": "10.0.2.0/24", "dstPort": 22, "inPort": 1},
+//	    "action": "output:3",
+//	    "rewrite": {"dstIP": "192.168.0.1"}
+//	  }]
+//	}
+//
+// Matches accept "src"/"dst" CIDR prefixes, "proto", "srcPort"/"dstPort",
+// and "inPort"; actions are "drop" or "output:N".
+package netfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"veridp/internal/controller"
+	"veridp/internal/flowtable"
+	"veridp/internal/header"
+	"veridp/internal/topo"
+)
+
+// Document is the top-level JSON shape.
+type Document struct {
+	Switches    []SwitchSpec `json:"switches"`
+	Links       []LinkSpec   `json:"links"`
+	Hosts       []HostSpec   `json:"hosts"`
+	Middleboxes []string     `json:"middleboxes"`
+	Rules       []RuleSpec   `json:"rules"`
+}
+
+// SwitchSpec declares one switch.
+type SwitchSpec struct {
+	Name  string `json:"name"`
+	Ports int    `json:"ports"`
+}
+
+// LinkSpec connects two "switch:port" endpoints.
+type LinkSpec struct {
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// HostSpec attaches a host to an edge port.
+type HostSpec struct {
+	Name   string `json:"name"`
+	IP     string `json:"ip"`
+	Attach string `json:"attach"`
+}
+
+// MatchSpec is the JSON form of a flowtable.Match.
+type MatchSpec struct {
+	Src     string  `json:"src,omitempty"`
+	Dst     string  `json:"dst,omitempty"`
+	Proto   *uint8  `json:"proto,omitempty"`
+	SrcPort *uint16 `json:"srcPort,omitempty"`
+	DstPort *uint16 `json:"dstPort,omitempty"`
+	InPort  uint16  `json:"inPort,omitempty"`
+}
+
+// RewriteSpec is the JSON form of a header.Rewrite.
+type RewriteSpec struct {
+	SrcIP   string  `json:"srcIP,omitempty"`
+	DstIP   string  `json:"dstIP,omitempty"`
+	SrcPort *uint16 `json:"srcPort,omitempty"`
+	DstPort *uint16 `json:"dstPort,omitempty"`
+}
+
+// RuleSpec declares one flow rule.
+type RuleSpec struct {
+	Switch   string       `json:"switch"`
+	Priority uint16       `json:"priority"`
+	Match    MatchSpec    `json:"match"`
+	Action   string       `json:"action"`
+	Rewrite  *RewriteSpec `json:"rewrite,omitempty"`
+}
+
+// Load parses a document and materializes the topology. Rules are returned
+// for installation via InstallRules (they need a controller or fabric).
+func Load(r io.Reader) (*topo.Network, []RuleSpec, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("netfile: %w", err)
+	}
+	return Materialize(&doc)
+}
+
+// Materialize builds the network graph from a parsed document.
+func Materialize(doc *Document) (*topo.Network, []RuleSpec, error) {
+	if len(doc.Switches) == 0 {
+		return nil, nil, fmt.Errorf("netfile: no switches declared")
+	}
+	n := topo.NewNetwork()
+	for _, s := range doc.Switches {
+		if s.Name == "" || s.Ports < 1 {
+			return nil, nil, fmt.Errorf("netfile: bad switch spec %+v", s)
+		}
+		n.AddSwitch(s.Name, s.Ports)
+	}
+	for _, l := range doc.Links {
+		a, ap, err := parsePort(n, l.A)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, bp, err := parsePort(n, l.B)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.AddLink(a, ap, b, bp)
+	}
+	for _, h := range doc.Hosts {
+		sw, p, err := parsePort(n, h.Attach)
+		if err != nil {
+			return nil, nil, err
+		}
+		ip, err := header.ParseIP(h.IP)
+		if err != nil {
+			return nil, nil, fmt.Errorf("netfile: host %q: %w", h.Name, err)
+		}
+		n.AddHost(h.Name, ip, sw, p)
+	}
+	for _, m := range doc.Middleboxes {
+		sw, p, err := parsePort(n, m)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.AddMiddlebox(sw, p)
+	}
+	// Validate rules now so installation can't fail halfway.
+	for i, r := range doc.Rules {
+		if _, err := CompileRule(n, r); err != nil {
+			return nil, nil, fmt.Errorf("netfile: rule %d: %w", i, err)
+		}
+	}
+	return n, doc.Rules, nil
+}
+
+// parsePort resolves "switch:port".
+func parsePort(n *topo.Network, s string) (topo.SwitchID, topo.PortID, error) {
+	name, portStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("netfile: port %q is not switch:port", s)
+	}
+	sw := n.SwitchByName(name)
+	if sw == nil {
+		return 0, 0, fmt.Errorf("netfile: unknown switch %q", name)
+	}
+	p, err := strconv.Atoi(portStr)
+	if err != nil || p < 1 || p > sw.NumPorts {
+		return 0, 0, fmt.Errorf("netfile: bad port %q on switch %q", portStr, name)
+	}
+	return sw.ID, topo.PortID(p), nil
+}
+
+// parsePrefix resolves "a.b.c.d/len" (empty means match-all).
+func parsePrefix(s string) (flowtable.Prefix, error) {
+	if s == "" {
+		return flowtable.Prefix{}, nil
+	}
+	ipStr, lenStr, ok := strings.Cut(s, "/")
+	plen := 32
+	if ok {
+		v, err := strconv.Atoi(lenStr)
+		if err != nil || v < 0 || v > 32 {
+			return flowtable.Prefix{}, fmt.Errorf("bad prefix length %q", lenStr)
+		}
+		plen = v
+	}
+	ip, err := header.ParseIP(ipStr)
+	if err != nil {
+		return flowtable.Prefix{}, err
+	}
+	return flowtable.Prefix{IP: ip, Len: plen}.Canonical(), nil
+}
+
+// CompileRule turns a spec into a flowtable.Rule targeted at its switch.
+func CompileRule(n *topo.Network, spec RuleSpec) (topo.SwitchID, error) {
+	_, _, err := compileRule(n, spec)
+	return swOf(n, spec.Switch), err
+}
+
+func swOf(n *topo.Network, name string) topo.SwitchID {
+	if sw := n.SwitchByName(name); sw != nil {
+		return sw.ID
+	}
+	return 0
+}
+
+func compileRule(n *topo.Network, spec RuleSpec) (topo.SwitchID, flowtable.Rule, error) {
+	sw := n.SwitchByName(spec.Switch)
+	if sw == nil {
+		return 0, flowtable.Rule{}, fmt.Errorf("unknown switch %q", spec.Switch)
+	}
+	src, err := parsePrefix(spec.Match.Src)
+	if err != nil {
+		return 0, flowtable.Rule{}, err
+	}
+	dst, err := parsePrefix(spec.Match.Dst)
+	if err != nil {
+		return 0, flowtable.Rule{}, err
+	}
+	m := flowtable.Match{
+		InPort:    topo.PortID(spec.Match.InPort),
+		SrcPrefix: src,
+		DstPrefix: dst,
+	}
+	if spec.Match.Proto != nil {
+		m.HasProto, m.Proto = true, *spec.Match.Proto
+	}
+	if spec.Match.SrcPort != nil {
+		m.HasSrc, m.SrcPort = true, *spec.Match.SrcPort
+	}
+	if spec.Match.DstPort != nil {
+		m.HasDst, m.DstPort = true, *spec.Match.DstPort
+	}
+	r := flowtable.Rule{Priority: spec.Priority, Match: m}
+	switch {
+	case spec.Action == "drop":
+		r.Action = flowtable.ActDrop
+	case strings.HasPrefix(spec.Action, "output:"):
+		p, err := strconv.Atoi(strings.TrimPrefix(spec.Action, "output:"))
+		if err != nil || p < 1 || p > sw.NumPorts {
+			return 0, flowtable.Rule{}, fmt.Errorf("bad output port in action %q", spec.Action)
+		}
+		r.Action = flowtable.ActOutput
+		r.OutPort = topo.PortID(p)
+	default:
+		return 0, flowtable.Rule{}, fmt.Errorf("unknown action %q", spec.Action)
+	}
+	if spec.Rewrite != nil {
+		rw := &header.Rewrite{}
+		if spec.Rewrite.SrcIP != "" {
+			ip, err := header.ParseIP(spec.Rewrite.SrcIP)
+			if err != nil {
+				return 0, flowtable.Rule{}, err
+			}
+			rw.SetSrcIP, rw.SrcIP = true, ip
+		}
+		if spec.Rewrite.DstIP != "" {
+			ip, err := header.ParseIP(spec.Rewrite.DstIP)
+			if err != nil {
+				return 0, flowtable.Rule{}, err
+			}
+			rw.SetDstIP, rw.DstIP = true, ip
+		}
+		if spec.Rewrite.SrcPort != nil {
+			rw.SetSrcPort, rw.SrcPort = true, *spec.Rewrite.SrcPort
+		}
+		if spec.Rewrite.DstPort != nil {
+			rw.SetDstPort, rw.DstPort = true, *spec.Rewrite.DstPort
+		}
+		if !rw.IsZero() {
+			r.Rewrite = rw
+		}
+	}
+	return sw.ID, r, nil
+}
+
+// InstallRules pushes every rule through the controller, returning the
+// assigned IDs in spec order.
+func InstallRules(n *topo.Network, c *controller.Controller, specs []RuleSpec) ([]uint64, error) {
+	ids := make([]uint64, 0, len(specs))
+	for i, spec := range specs {
+		sw, r, err := compileRule(n, spec)
+		if err != nil {
+			return ids, fmt.Errorf("netfile: rule %d: %w", i, err)
+		}
+		id, err := c.InstallRule(sw, r)
+		if err != nil {
+			return ids, fmt.Errorf("netfile: rule %d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

@@ -1,0 +1,136 @@
+package netfile
+
+import (
+	"strings"
+	"testing"
+
+	"veridp/internal/bloom"
+	"veridp/internal/controller"
+	"veridp/internal/core"
+	"veridp/internal/dataplane"
+	"veridp/internal/header"
+	"veridp/internal/topo"
+)
+
+// figure5JSON describes the paper's Figure 5 network in the file format.
+const figure5JSON = `{
+  "switches": [
+    {"name": "S1", "ports": 4},
+    {"name": "S2", "ports": 3},
+    {"name": "S3", "ports": 3}
+  ],
+  "links": [
+    {"a": "S1:3", "b": "S2:1"},
+    {"a": "S1:4", "b": "S3:3"},
+    {"a": "S2:2", "b": "S3:1"}
+  ],
+  "hosts": [
+    {"name": "H1", "ip": "10.0.1.1", "attach": "S1:1"},
+    {"name": "H2", "ip": "10.0.1.2", "attach": "S1:2"},
+    {"name": "H3", "ip": "10.0.2.1", "attach": "S3:2"}
+  ],
+  "middleboxes": ["S2:3"],
+  "rules": [
+    {"switch": "S1", "priority": 20, "match": {"dst": "10.0.2.0/24", "dstPort": 22}, "action": "output:3"},
+    {"switch": "S1", "priority": 10, "match": {"dst": "10.0.2.0/24"}, "action": "output:4"},
+    {"switch": "S2", "priority": 10, "match": {"inPort": 1}, "action": "output:3"},
+    {"switch": "S2", "priority": 10, "match": {"inPort": 3}, "action": "output:2"},
+    {"switch": "S3", "priority": 30, "match": {"src": "10.0.1.2/32"}, "action": "drop"},
+    {"switch": "S3", "priority": 20, "match": {"dst": "10.0.2.0/24"}, "action": "output:2"}
+  ]
+}`
+
+func TestLoadFigure5(t *testing.T) {
+	n, rules, err := Load(strings.NewReader(figure5JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumSwitches() != 3 || len(n.Hosts()) != 3 || n.NumLinks() != 3 {
+		t.Fatalf("shape: %d switches %d hosts %d links", n.NumSwitches(), len(n.Hosts()), n.NumLinks())
+	}
+	s2 := n.SwitchByName("S2")
+	if peer, ok := n.Peer(topo.PortKey{Switch: s2.ID, Port: 3}); !ok || peer.Switch != s2.ID {
+		t.Fatal("middlebox port not reflecting")
+	}
+	if len(rules) != 6 {
+		t.Fatalf("rules %d", len(rules))
+	}
+
+	// Install and drive the network end to end.
+	f := dataplane.NewFabric(n)
+	c := controller.New(n, &dataplane.FabricInstaller{Fabric: f})
+	if _, err := InstallRules(n, c, rules); err != nil {
+		t.Fatal(err)
+	}
+	pt := (&core.Builder{Net: n, Space: header.NewSpace(), Params: bloom.DefaultParams, Configs: c.Logical()}).Build()
+	ssh := header.Header{SrcIP: header.MustParseIP("10.0.1.1"), DstIP: header.MustParseIP("10.0.2.1"), Proto: 6, DstPort: 22}
+	res, err := f.InjectFromHost("H1", ssh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != dataplane.OutcomeDelivered || len(res.Path) != 4 {
+		t.Fatalf("SSH path %v (%v)", res.Path, res.Outcome)
+	}
+	if v := pt.Verify(res.Reports[0]); !v.OK {
+		t.Fatalf("loaded network failed verification: %v", v.Reason)
+	}
+}
+
+func TestLoadRewriteRule(t *testing.T) {
+	doc := `{
+	  "switches": [{"name": "gw", "ports": 2}],
+	  "hosts": [
+	    {"name": "c", "ip": "10.0.0.1", "attach": "gw:1"},
+	    {"name": "b", "ip": "192.168.0.1", "attach": "gw:2"}
+	  ],
+	  "rules": [{
+	    "switch": "gw", "priority": 10,
+	    "match": {"dst": "203.0.113.80/32"},
+	    "action": "output:2",
+	    "rewrite": {"dstIP": "192.168.0.1", "dstPort": 8080}
+	  }]
+	}`
+	n, rules, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := dataplane.NewFabric(n)
+	c := controller.New(n, &dataplane.FabricInstaller{Fabric: f})
+	if _, err := InstallRules(n, c, rules); err != nil {
+		t.Fatal(err)
+	}
+	h := header.Header{SrcIP: header.MustParseIP("10.0.0.1"), DstIP: header.MustParseIP("203.0.113.80"), Proto: 6, DstPort: 80}
+	res, err := f.InjectFromHost("c", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != dataplane.OutcomeDelivered {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	rep := res.Reports[0]
+	if rep.Header.DstIP != header.MustParseIP("192.168.0.1") || rep.Header.DstPort != 8080 {
+		t.Fatalf("rewrite not loaded: %v", rep.Header)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		`{}`, // no switches
+		`{"switches":[{"name":"s","ports":0}]}`,
+		`{"switches":[{"name":"s","ports":2}],"links":[{"a":"s-1","b":"s:2"}]}`,
+		`{"switches":[{"name":"s","ports":2}],"links":[{"a":"x:1","b":"s:2"}]}`,
+		`{"switches":[{"name":"s","ports":2}],"links":[{"a":"s:9","b":"s:2"}]}`,
+		`{"switches":[{"name":"s","ports":2}],"hosts":[{"name":"h","ip":"999.0.0.1","attach":"s:1"}]}`,
+		`{"switches":[{"name":"s","ports":2}],"rules":[{"switch":"s","action":"teleport"}]}`,
+		`{"switches":[{"name":"s","ports":2}],"rules":[{"switch":"s","action":"output:9"}]}`,
+		`{"switches":[{"name":"s","ports":2}],"rules":[{"switch":"ghost","action":"drop"}]}`,
+		`{"switches":[{"name":"s","ports":2}],"rules":[{"switch":"s","action":"drop","match":{"dst":"10.0.0.0/99"}}]}`,
+		`{"bogusField": true}`,
+		`not json at all`,
+	}
+	for i, c := range cases {
+		if _, _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}

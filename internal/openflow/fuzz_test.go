@@ -1,0 +1,63 @@
+package openflow
+
+import (
+	"testing"
+
+	"veridp/internal/flowtable"
+)
+
+// FuzzUnmarshalFlowMod: the southbound decoder must never panic and must
+// round-trip everything it accepts.
+func FuzzUnmarshalFlowMod(f *testing.F) {
+	fm := &FlowMod{Command: FlowAdd, Switch: 2, RuleID: 3,
+		Rule: flowtable.Rule{Priority: 4, Action: flowtable.ActOutput, OutPort: 1}}
+	f.Add(fm.Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalFlowMod(data)
+		if err != nil {
+			return
+		}
+		back, err := UnmarshalFlowMod(got.Marshal())
+		if err != nil {
+			t.Fatalf("re-marshal unparseable: %v", err)
+		}
+		if back.Command != got.Command || back.RuleID != got.RuleID ||
+			back.Rule.Match != got.Rule.Match || !back.Rule.Rewrite.Equal(got.Rule.Rewrite) {
+			t.Fatalf("flowmod round trip broke: %+v vs %+v", back, got)
+		}
+	})
+}
+
+// FuzzUnmarshalTableDump: length-prefixed repeated records are a classic
+// overflow spot; the decoder must stay allocation-bounded and panic-free.
+func FuzzUnmarshalTableDump(f *testing.F) {
+	rules := []*flowtable.Rule{
+		{ID: 1, Priority: 2, Action: flowtable.ActOutput, OutPort: 3},
+		{ID: 2, Priority: 9, Action: flowtable.ActDrop},
+	}
+	f.Add(MarshalTableDump(rules))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalTableDump(data)
+		if err != nil {
+			return
+		}
+		back, err := UnmarshalTableDump(MarshalTableDump(got))
+		if err != nil || len(back) != len(got) {
+			t.Fatalf("dump round trip broke: %d vs %d (%v)", len(back), len(got), err)
+		}
+	})
+}
+
+// FuzzUnmarshalPacketOut and FuzzUnmarshalError cover the small codecs.
+func FuzzUnmarshalPacketOut(f *testing.F) {
+	f.Add((&PacketOut{Port: 1, Data: []byte("x")}).Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := UnmarshalPacketOut(data); err == nil {
+			if _, err := UnmarshalPacketOut(p.Marshal()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,288 @@
+package openflow
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"veridp/internal/flowtable"
+	"veridp/internal/topo"
+)
+
+func TestFlowModRoundTrip(t *testing.T) {
+	f := &FlowMod{
+		Command: FlowAdd,
+		Switch:  9,
+		RuleID:  1234567,
+		Rule: flowtable.Rule{
+			Priority: 42,
+			Match: flowtable.Match{
+				InPort:    2,
+				SrcPrefix: flowtable.Prefix{IP: 0x0a000000, Len: 8},
+				DstPrefix: flowtable.Prefix{IP: 0x0a000200, Len: 24},
+				HasProto:  true, Proto: 6,
+				HasDst: true, DstPort: 22,
+			},
+			Action:  flowtable.ActOutput,
+			OutPort: 3,
+		},
+	}
+	got, err := UnmarshalFlowMod(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Command != f.Command || got.Switch != f.Switch || got.RuleID != f.RuleID {
+		t.Fatalf("envelope mismatch: %+v", got)
+	}
+	if got.Rule.Priority != f.Rule.Priority || got.Rule.Match != f.Rule.Match ||
+		got.Rule.Action != f.Rule.Action || got.Rule.OutPort != f.Rule.OutPort {
+		t.Fatalf("rule mismatch: %+v vs %+v", got.Rule, f.Rule)
+	}
+	if got.Rule.ID != f.RuleID {
+		t.Fatal("rule ID not propagated from envelope")
+	}
+}
+
+// Property: FlowMod marshalling round-trips for random rules.
+func TestQuickFlowModRoundTrip(t *testing.T) {
+	prop := func(cmd uint8, sw uint16, id uint64, pri uint16, srcIP, dstIP uint32,
+		srcLen, dstLen uint8, flags uint8, proto uint8, sp, dp uint16, out uint16) bool {
+		f := &FlowMod{
+			Command: FlowModCommand(cmd%3 + 1),
+			Switch:  topo.SwitchID(sw),
+			RuleID:  id,
+			Rule: flowtable.Rule{
+				Priority: pri,
+				Match: flowtable.Match{
+					SrcPrefix: flowtable.Prefix{IP: srcIP, Len: int(srcLen % 33)},
+					DstPrefix: flowtable.Prefix{IP: dstIP, Len: int(dstLen % 33)},
+					HasProto:  flags&1 != 0, Proto: proto,
+					HasSrc: flags&2 != 0, SrcPort: sp,
+					HasDst: flags&4 != 0, DstPort: dp,
+				},
+				Action:  flowtable.Action(flags % 2),
+				OutPort: topo.PortID(out),
+			},
+		}
+		got, err := UnmarshalFlowMod(f.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.Command == f.Command && got.Rule.Match == f.Rule.Match &&
+			got.Rule.OutPort == f.Rule.OutPort && got.RuleID == f.RuleID
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowModRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalFlowMod([]byte{1, 2}); err == nil {
+		t.Fatal("short FlowMod accepted")
+	}
+	f := &FlowMod{Command: FlowAdd}
+	b := f.Marshal()
+	b[0] = 99
+	if _, err := UnmarshalFlowMod(b); err == nil {
+		t.Fatal("bad command accepted")
+	}
+	b = f.Marshal()
+	b[13+6] = 77 // src prefix length: 13-byte envelope + offset 6 in the match
+	if _, err := UnmarshalFlowMod(b); err == nil {
+		t.Fatal("bad prefix length accepted")
+	}
+}
+
+func TestPacketOutRoundTrip(t *testing.T) {
+	p := &PacketOut{Port: 3, Data: []byte{0xde, 0xad}}
+	got, err := UnmarshalPacketOut(p.Marshal())
+	if err != nil || got.Port != 3 || string(got.Data) != string(p.Data) {
+		t.Fatalf("round trip: %+v err %v", got, err)
+	}
+	if _, err := UnmarshalPacketOut([]byte{1}); err == nil {
+		t.Fatal("short PacketOut accepted")
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	e := &ErrorMsg{Xid: 77, Reason: "no such rule"}
+	got, err := UnmarshalError(e.Marshal())
+	if err != nil || got.Xid != 77 || got.Reason != e.Reason {
+		t.Fatalf("round trip: %+v err %v", got, err)
+	}
+}
+
+// pipeConns returns two Conns joined by an in-memory pipe.
+func pipeConns() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+func TestConnSendRecv(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		a.Send(&Message{Type: TypeEchoRequest, Xid: 5, Body: []byte("ping")})
+	}()
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != TypeEchoRequest || m.Xid != 5 || string(m.Body) != "ping" {
+		t.Fatalf("recv %+v", m)
+	}
+}
+
+func TestConnHello(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	go a.SendHello(13)
+	sw, err := b.RecvHello()
+	if err != nil || sw != 13 {
+		t.Fatalf("hello: %d, %v", sw, err)
+	}
+}
+
+func TestConnRejectsBadVersion(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go a.Write([]byte{0xff, 1, 0, 8, 0, 0, 0, 0})
+	if _, err := NewConn(b).Recv(); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestConnRejectsBadLength(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go a.Write([]byte{Version, 1, 0, 3, 0, 0, 0, 0}) // length < header
+	if _, err := NewConn(b).Recv(); err == nil {
+		t.Fatal("undersized frame accepted")
+	}
+}
+
+func TestBarrierXidEcho(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	var xid uint32
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m, err := b.Recv()
+		if err != nil || m.Type != TypeBarrierRequest {
+			t.Errorf("expected BarrierRequest, got %v err %v", m, err)
+			return
+		}
+		b.SendBarrierReply(m.Xid)
+	}()
+	xid, err := a.SendBarrierRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.Recv()
+	if err != nil || m.Type != TypeBarrierReply || m.Xid != xid {
+		t.Fatalf("barrier reply: %+v err %v", m, err)
+	}
+	<-done
+}
+
+// TestProxySplice runs a real TCP controller, proxy, and switch, and checks
+// that FlowMods flow through with interception and barriers round-trip.
+func TestProxySplice(t *testing.T) {
+	// Controller: accepts one connection, sends a FlowMod + barrier.
+	ctrlL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrlL.Close()
+	sentRule := flowtable.Rule{Priority: 7, Action: flowtable.ActOutput, OutPort: 2}
+	go func() {
+		raw, err := ctrlL.Accept()
+		if err != nil {
+			return
+		}
+		c := NewConn(raw)
+		sw, err := c.RecvHello()
+		if err != nil || sw != 21 {
+			t.Errorf("controller hello: %d %v", sw, err)
+			return
+		}
+		c.SendFlowMod(&FlowMod{Command: FlowAdd, Switch: sw, RuleID: 5, Rule: sentRule})
+		c.SendBarrierRequest()
+	}()
+
+	// Proxy with interception hooks.
+	var mu sync.Mutex
+	var intercepted []*FlowMod
+	var barriers []uint32
+	hooks := ProxyHooks{
+		OnFlowMod: func(sw topo.SwitchID, f *FlowMod) {
+			mu.Lock()
+			intercepted = append(intercepted, f)
+			mu.Unlock()
+		},
+		OnBarrierReply: func(sw topo.SwitchID, xid uint32) {
+			mu.Lock()
+			barriers = append(barriers, xid)
+			mu.Unlock()
+		},
+	}
+	proxy := NewProxy(ctrlL.Addr().String(), hooks, nil)
+	proxyL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go proxy.Serve(proxyL)
+	defer proxy.Close()
+
+	// Switch: dials the proxy, installs the rule, answers the barrier.
+	raw, err := net.Dial("tcp", proxyL.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	swc := NewConn(raw)
+	if err := swc.SendHello(21); err != nil {
+		t.Fatal(err)
+	}
+	m, err := swc.Recv()
+	if err != nil || m.Type != TypeFlowMod {
+		t.Fatalf("switch recv: %+v err %v", m, err)
+	}
+	f, err := UnmarshalFlowMod(m.Body)
+	if err != nil || f.RuleID != 5 || f.Rule.OutPort != sentRule.OutPort {
+		t.Fatalf("flowmod through proxy: %+v err %v", f, err)
+	}
+	m, err = swc.Recv()
+	if err != nil || m.Type != TypeBarrierRequest {
+		t.Fatalf("barrier through proxy: %+v err %v", m, err)
+	}
+	swc.SendBarrierReply(m.Xid)
+
+	// Give the proxy a beat to forward the reply upstream.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		fm, br := len(intercepted), len(barriers)
+		mu.Unlock()
+		if fm == 1 && br == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("interception incomplete: flowmods=%d barriers=%d", fm, br)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if intercepted[0].RuleID != 5 {
+		t.Fatalf("intercepted wrong rule: %+v", intercepted[0])
+	}
+}

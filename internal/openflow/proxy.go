@@ -1,0 +1,211 @@
+// The VeriDP interception proxy (§3.2): it sits on the OpenFlow channel
+// between the controller and every switch, forwarding messages unchanged in
+// both directions while feeding FlowMods to the verification server so the
+// path table tracks what the controller believes it installed.
+
+package openflow
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"veridp/internal/topo"
+)
+
+// ProxyHooks receives intercepted control traffic. Callbacks run on the
+// proxy's per-connection goroutines; implementations must be safe for
+// concurrent use. A nil hook is skipped.
+type ProxyHooks struct {
+	// OnFlowMod fires for every controller→switch FlowMod, before it is
+	// forwarded to the switch.
+	OnFlowMod func(sw topo.SwitchID, f *FlowMod)
+	// OnBarrierReply fires for every switch→controller BarrierReply.
+	OnBarrierReply func(sw topo.SwitchID, xid uint32)
+	// OnConnect fires when a switch completes its Hello through the proxy.
+	OnConnect func(sw topo.SwitchID)
+	// OnDisconnect fires when either side of a proxied session closes.
+	OnDisconnect func(sw topo.SwitchID)
+}
+
+// Proxy accepts switch connections and splices each to its own upstream
+// controller connection.
+type Proxy struct {
+	controllerAddr string
+	hooks          ProxyHooks
+	logger         *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	sessions map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewProxy returns a proxy that splices to the controller at addr. logger
+// may be nil to disable logging.
+func NewProxy(controllerAddr string, hooks ProxyHooks, logger *log.Logger) *Proxy {
+	return &Proxy{
+		controllerAddr: controllerAddr,
+		hooks:          hooks,
+		logger:         logger,
+		sessions:       make(map[net.Conn]struct{}),
+	}
+}
+
+func (p *Proxy) logf(format string, args ...interface{}) {
+	if p.logger != nil {
+		p.logger.Printf("proxy: "+format, args...)
+	}
+}
+
+// Serve accepts switch connections on l until Close. It always returns a
+// non-nil error (net.ErrClosed after Close).
+func (p *Proxy) Serve(l net.Listener) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("openflow: proxy already closed")
+	}
+	p.listener = l
+	p.mu.Unlock()
+
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go p.serveSwitch(c)
+	}
+}
+
+// Close stops the accept loop and tears down every spliced session.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	if p.listener != nil {
+		p.listener.Close()
+	}
+	for c := range p.sessions {
+		c.Close()
+	}
+}
+
+// track registers a connection for teardown; returns false if closing.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.sessions[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.sessions, c)
+}
+
+// serveSwitch handles one switch: handshake, upstream dial, then splice.
+func (p *Proxy) serveSwitch(raw net.Conn) {
+	if !p.track(raw) {
+		raw.Close()
+		return
+	}
+	defer p.untrack(raw)
+	defer raw.Close()
+
+	swConn := NewConn(raw)
+	sw, err := swConn.RecvHello()
+	if err != nil {
+		p.logf("handshake with %v failed: %v", raw.RemoteAddr(), err)
+		return
+	}
+
+	upRaw, err := net.Dial("tcp", p.controllerAddr)
+	if err != nil {
+		p.logf("switch %d: controller dial failed: %v", sw, err)
+		return
+	}
+	if !p.track(upRaw) {
+		upRaw.Close()
+		return
+	}
+	defer p.untrack(upRaw)
+	defer upRaw.Close()
+
+	upConn := NewConn(upRaw)
+	if err := upConn.SendHello(sw); err != nil {
+		p.logf("switch %d: upstream hello failed: %v", sw, err)
+		return
+	}
+	p.logf("switch %d connected via %v", sw, raw.RemoteAddr())
+	if p.hooks.OnConnect != nil {
+		p.hooks.OnConnect(sw)
+	}
+	defer func() {
+		if p.hooks.OnDisconnect != nil {
+			p.hooks.OnDisconnect(sw)
+		}
+	}()
+
+	done := make(chan struct{}, 2)
+	// Controller → switch: intercept FlowMods.
+	go func() {
+		defer func() { done <- struct{}{} }()
+		for {
+			m, err := upConn.Recv()
+			if err != nil {
+				p.reportSpliceEnd(sw, "controller", err)
+				raw.Close()
+				return
+			}
+			if m.Type == TypeFlowMod && p.hooks.OnFlowMod != nil {
+				if f, err := UnmarshalFlowMod(m.Body); err == nil {
+					p.hooks.OnFlowMod(sw, f)
+				} else {
+					p.logf("switch %d: undecodable FlowMod: %v", sw, err)
+				}
+			}
+			if err := swConn.Send(m); err != nil {
+				p.reportSpliceEnd(sw, "switch(write)", err)
+				upRaw.Close()
+				return
+			}
+		}
+	}()
+	// Switch → controller: intercept BarrierReplies.
+	go func() {
+		defer func() { done <- struct{}{} }()
+		for {
+			m, err := swConn.Recv()
+			if err != nil {
+				p.reportSpliceEnd(sw, "switch", err)
+				upRaw.Close()
+				return
+			}
+			if m.Type == TypeBarrierReply && p.hooks.OnBarrierReply != nil {
+				p.hooks.OnBarrierReply(sw, m.Xid)
+			}
+			if err := upConn.Send(m); err != nil {
+				p.reportSpliceEnd(sw, "controller(write)", err)
+				raw.Close()
+				return
+			}
+		}
+	}()
+	<-done
+	<-done
+}
+
+func (p *Proxy) reportSpliceEnd(sw topo.SwitchID, side string, err error) {
+	if err == io.EOF {
+		p.logf("switch %d: %s closed", sw, side)
+	} else {
+		p.logf("switch %d: %s error: %v", sw, side, err)
+	}
+}

@@ -1,0 +1,137 @@
+// Length-framed message transport over any net.Conn, with the Hello
+// handshake that binds a connection to a switch identity (real OpenFlow
+// carries the datapath ID in FeaturesReply; we fold it into Hello).
+
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"veridp/internal/topo"
+)
+
+// Conn is a message-oriented southbound connection. Reads and writes are
+// each internally serialized, so one reader goroutine and any number of
+// writer goroutines may share a Conn.
+type Conn struct {
+	c       net.Conn
+	readMu  sync.Mutex
+	writeMu sync.Mutex
+	nextXid atomic.Uint32
+}
+
+// NewConn wraps a net.Conn.
+func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr exposes the peer address for logging.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
+
+// NextXid allocates a fresh transaction ID.
+func (c *Conn) NextXid() uint32 { return c.nextXid.Add(1) }
+
+// Send writes one message.
+func (c *Conn) Send(m *Message) error {
+	if len(m.Body) > maxBody {
+		return fmt.Errorf("openflow: body too large (%d bytes)", len(m.Body))
+	}
+	var hdr [headerLen]byte
+	hdr[0] = Version
+	hdr[1] = uint8(m.Type)
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(headerLen+len(m.Body)))
+	binary.BigEndian.PutUint32(hdr[4:8], m.Xid)
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(m.Body) > 0 {
+		if _, err := c.c.Write(m.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv reads one message, blocking until a full frame arrives.
+func (c *Conn) Recv() (*Message, error) {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != Version {
+		return nil, fmt.Errorf("openflow: bad version %#02x", hdr[0])
+	}
+	length := int(binary.BigEndian.Uint16(hdr[2:4]))
+	if length < headerLen || length-headerLen > maxBody {
+		return nil, fmt.Errorf("openflow: bad frame length %d", length)
+	}
+	m := &Message{
+		Type: MsgType(hdr[1]),
+		Xid:  binary.BigEndian.Uint32(hdr[4:8]),
+	}
+	if length > headerLen {
+		m.Body = make([]byte, length-headerLen)
+		if _, err := io.ReadFull(c.c, m.Body); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// SendHello announces the local switch identity (switches hello first).
+func (c *Conn) SendHello(sw topo.SwitchID) error {
+	var body [2]byte
+	binary.BigEndian.PutUint16(body[:], uint16(sw))
+	return c.Send(&Message{Type: TypeHello, Xid: c.NextXid(), Body: body[:]})
+}
+
+// RecvHello reads the peer's Hello and returns the announced switch ID.
+func (c *Conn) RecvHello() (topo.SwitchID, error) {
+	m, err := c.Recv()
+	if err != nil {
+		return 0, err
+	}
+	if m.Type != TypeHello || len(m.Body) < 2 {
+		return 0, fmt.Errorf("openflow: expected Hello, got %v", m.Type)
+	}
+	return topo.SwitchID(binary.BigEndian.Uint16(m.Body[:2])), nil
+}
+
+// SendFlowMod sends a FlowMod and returns its xid.
+func (c *Conn) SendFlowMod(f *FlowMod) (uint32, error) {
+	xid := c.NextXid()
+	return xid, c.Send(&Message{Type: TypeFlowMod, Xid: xid, Body: f.Marshal()})
+}
+
+// SendBarrierRequest sends a BarrierRequest and returns its xid; the peer
+// echoes the xid back in BarrierReply after processing everything before it.
+func (c *Conn) SendBarrierRequest() (uint32, error) {
+	xid := c.NextXid()
+	return xid, c.Send(&Message{Type: TypeBarrierRequest, Xid: xid})
+}
+
+// SendBarrierReply acknowledges the barrier with the request's xid.
+func (c *Conn) SendBarrierReply(xid uint32) error {
+	return c.Send(&Message{Type: TypeBarrierReply, Xid: xid})
+}
+
+// SendPacketOut injects a packet on the remote switch.
+func (c *Conn) SendPacketOut(p *PacketOut) error {
+	return c.Send(&Message{Type: TypePacketOut, Xid: c.NextXid(), Body: p.Marshal()})
+}
+
+// SendError reports a processing failure for the given request xid.
+func (c *Conn) SendError(xid uint32, reason string) error {
+	e := &ErrorMsg{Xid: xid, Reason: reason}
+	return c.Send(&Message{Type: TypeError, Xid: c.NextXid(), Body: e.Marshal()})
+}

@@ -1,0 +1,294 @@
+// Package packet implements the wire formats VeriDP's data plane touches:
+// Ethernet II, 802.1Q/802.1ad VLAN tags, IPv4, TCP, and UDP, plus the
+// VeriDP-specific encapsulation of §5 — a marker bit in the IP TOS field, a
+// 16-bit Bloom-filter tag in the first VLAN TCI, and a 14-bit entry-port
+// identifier (8 bits switch, 6 bits port) in the second VLAN TCI — and the
+// UDP-encapsulated tag-report message.
+//
+// The design follows gopacket's layer model: each layer is a struct with
+// SerializeTo/Decode methods over big-endian byte slices, and a top-level
+// Parse walks the layer chain. Checksums are computed on serialize and
+// updated incrementally when the pipeline flips the marker bit, as a
+// hardware pipeline would.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"veridp/internal/header"
+)
+
+// EtherTypes used by the chain.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeSTag uint16 = 0x88a8 // 802.1ad service tag (outer)
+	EtherTypeCTag uint16 = 0x8100 // 802.1Q customer tag (inner)
+)
+
+// Layer sizes in bytes.
+const (
+	EthernetLen = 14
+	VLANLen     = 4 // TCI + inner EtherType
+	IPv4Len     = 20
+	TCPLen      = 20
+	UDPLen      = 8
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String renders the MAC colon-separated.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is the Ethernet II header.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+// SerializeTo writes the header into b (must have ≥ EthernetLen bytes) and
+// returns the bytes written.
+func (e *Ethernet) SerializeTo(b []byte) int {
+	copy(b[0:6], e.Dst[:])
+	copy(b[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], e.EtherType)
+	return EthernetLen
+}
+
+// DecodeEthernet parses an Ethernet header, returning it and the payload.
+func DecodeEthernet(b []byte) (Ethernet, []byte, error) {
+	if len(b) < EthernetLen {
+		return Ethernet{}, nil, fmt.Errorf("packet: ethernet truncated (%d bytes)", len(b))
+	}
+	var e Ethernet
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return e, b[EthernetLen:], nil
+}
+
+// VLAN is one 802.1Q/802.1ad tag: the 16-bit TCI followed by the inner
+// EtherType. VeriDP repurposes the whole TCI as an opaque 16-bit field, as
+// the paper's prototype does.
+type VLAN struct {
+	TCI       uint16
+	EtherType uint16
+}
+
+// SerializeTo writes the tag into b (≥ VLANLen bytes).
+func (v *VLAN) SerializeTo(b []byte) int {
+	binary.BigEndian.PutUint16(b[0:2], v.TCI)
+	binary.BigEndian.PutUint16(b[2:4], v.EtherType)
+	return VLANLen
+}
+
+// DecodeVLAN parses one VLAN tag.
+func DecodeVLAN(b []byte) (VLAN, []byte, error) {
+	if len(b) < VLANLen {
+		return VLAN{}, nil, fmt.Errorf("packet: vlan truncated (%d bytes)", len(b))
+	}
+	return VLAN{
+		TCI:       binary.BigEndian.Uint16(b[0:2]),
+		EtherType: binary.BigEndian.Uint16(b[2:4]),
+	}, b[VLANLen:], nil
+}
+
+// IPv4 is the 20-byte IPv4 header (no options).
+type IPv4 struct {
+	TOS      uint8
+	Length   uint16 // total length incl. header
+	ID       uint16
+	TTL      uint8
+	Proto    uint8
+	Checksum uint16 // filled by SerializeTo
+	Src, Dst uint32
+}
+
+// SerializeTo writes the header into b (≥ IPv4Len bytes), computing the
+// checksum.
+func (ip *IPv4) SerializeTo(b []byte) int {
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = ip.TOS
+	binary.BigEndian.PutUint16(b[2:4], ip.Length)
+	binary.BigEndian.PutUint16(b[4:6], ip.ID)
+	binary.BigEndian.PutUint16(b[6:8], 0) // flags + fragment offset
+	b[8] = ip.TTL
+	b[9] = ip.Proto
+	binary.BigEndian.PutUint16(b[10:12], 0) // checksum placeholder
+	binary.BigEndian.PutUint32(b[12:16], ip.Src)
+	binary.BigEndian.PutUint32(b[16:20], ip.Dst)
+	ip.Checksum = Checksum(b[:IPv4Len])
+	binary.BigEndian.PutUint16(b[10:12], ip.Checksum)
+	return IPv4Len
+}
+
+// DecodeIPv4 parses an IPv4 header, validating version, IHL, and checksum.
+func DecodeIPv4(b []byte) (IPv4, []byte, error) {
+	if len(b) < IPv4Len {
+		return IPv4{}, nil, fmt.Errorf("packet: ipv4 truncated (%d bytes)", len(b))
+	}
+	if b[0]>>4 != 4 {
+		return IPv4{}, nil, fmt.Errorf("packet: not IPv4 (version %d)", b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl != IPv4Len {
+		return IPv4{}, nil, fmt.Errorf("packet: IPv4 options unsupported (IHL %d)", ihl)
+	}
+	if Checksum(b[:IPv4Len]) != 0 {
+		return IPv4{}, nil, fmt.Errorf("packet: IPv4 checksum mismatch")
+	}
+	ip := IPv4{
+		TOS:      b[1],
+		Length:   binary.BigEndian.Uint16(b[2:4]),
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+		TTL:      b[8],
+		Proto:    b[9],
+		Checksum: binary.BigEndian.Uint16(b[10:12]),
+		Src:      binary.BigEndian.Uint32(b[12:16]),
+		Dst:      binary.BigEndian.Uint32(b[16:20]),
+	}
+	return ip, b[IPv4Len:], nil
+}
+
+// TCP is a 20-byte TCP header (no options). The checksum is computed over
+// the pseudo-header as usual.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+}
+
+// SerializeTo writes the header into b (≥ TCPLen bytes); payload and the
+// pseudo-header addresses are needed for the checksum.
+func (t *TCP) SerializeTo(b []byte, src, dst uint32, payload []byte) int {
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = 5 << 4 // data offset
+	b[13] = t.Flags
+	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	binary.BigEndian.PutUint16(b[16:18], 0) // checksum placeholder
+	binary.BigEndian.PutUint16(b[18:20], 0) // urgent pointer
+	t.Checksum = transportChecksum(src, dst, header.ProtoTCP, b[:TCPLen], payload)
+	binary.BigEndian.PutUint16(b[16:18], t.Checksum)
+	return TCPLen
+}
+
+// DecodeTCP parses a TCP header.
+func DecodeTCP(b []byte) (TCP, []byte, error) {
+	if len(b) < TCPLen {
+		return TCP{}, nil, fmt.Errorf("packet: tcp truncated (%d bytes)", len(b))
+	}
+	off := int(b[12]>>4) * 4
+	if off < TCPLen || off > len(b) {
+		return TCP{}, nil, fmt.Errorf("packet: bad TCP data offset %d", off)
+	}
+	return TCP{
+		SrcPort:  binary.BigEndian.Uint16(b[0:2]),
+		DstPort:  binary.BigEndian.Uint16(b[2:4]),
+		Seq:      binary.BigEndian.Uint32(b[4:8]),
+		Ack:      binary.BigEndian.Uint32(b[8:12]),
+		Flags:    b[13],
+		Window:   binary.BigEndian.Uint16(b[14:16]),
+		Checksum: binary.BigEndian.Uint16(b[16:18]),
+	}, b[off:], nil
+}
+
+// UDP is the 8-byte UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// SerializeTo writes the header into b (≥ UDPLen bytes).
+func (u *UDP) SerializeTo(b []byte, src, dst uint32, payload []byte) int {
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	u.Length = uint16(UDPLen + len(payload))
+	binary.BigEndian.PutUint16(b[4:6], u.Length)
+	binary.BigEndian.PutUint16(b[6:8], 0)
+	u.Checksum = transportChecksum(src, dst, header.ProtoUDP, b[:UDPLen], payload)
+	if u.Checksum == 0 {
+		u.Checksum = 0xffff // RFC 768: transmitted as all-ones
+	}
+	binary.BigEndian.PutUint16(b[6:8], u.Checksum)
+	return UDPLen
+}
+
+// DecodeUDP parses a UDP header.
+func DecodeUDP(b []byte) (UDP, []byte, error) {
+	if len(b) < UDPLen {
+		return UDP{}, nil, fmt.Errorf("packet: udp truncated (%d bytes)", len(b))
+	}
+	u := UDP{
+		SrcPort:  binary.BigEndian.Uint16(b[0:2]),
+		DstPort:  binary.BigEndian.Uint16(b[2:4]),
+		Length:   binary.BigEndian.Uint16(b[4:6]),
+		Checksum: binary.BigEndian.Uint16(b[6:8]),
+	}
+	if int(u.Length) < UDPLen || int(u.Length) > UDPLen+len(b[UDPLen:]) {
+		return UDP{}, nil, fmt.Errorf("packet: bad UDP length %d", u.Length)
+	}
+	return u, b[UDPLen:u.Length], nil
+}
+
+// Checksum computes the Internet checksum (RFC 1071) of b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// ChecksumUpdate16 incrementally adjusts an Internet checksum when a 16-bit
+// word changes from old to new (RFC 1624, eqn. 3) — the operation the
+// tagging pipeline uses when it flips the TOS marker bit without
+// re-summing the header.
+func ChecksumUpdate16(sum, old, new uint16) uint16 {
+	c := uint32(^sum) + uint32(^old) + uint32(new)
+	for c > 0xffff {
+		c = c&0xffff + c>>16
+	}
+	return ^uint16(c)
+}
+
+// transportChecksum computes a TCP/UDP checksum over the IPv4 pseudo-header,
+// the transport header (checksum field zeroed), and the payload.
+func transportChecksum(src, dst uint32, proto uint8, hdr, payload []byte) uint16 {
+	var pseudo [12]byte
+	binary.BigEndian.PutUint32(pseudo[0:4], src)
+	binary.BigEndian.PutUint32(pseudo[4:8], dst)
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(hdr)+len(payload)))
+
+	var sum uint32
+	add := func(b []byte) {
+		for i := 0; i+1 < len(b); i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(b[i:]))
+		}
+		if len(b)%2 == 1 {
+			sum += uint32(b[len(b)-1]) << 8
+		}
+	}
+	add(pseudo[:])
+	add(hdr)
+	add(payload)
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

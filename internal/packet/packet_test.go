@@ -1,0 +1,353 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"veridp/internal/bloom"
+	"veridp/internal/header"
+	"veridp/internal/topo"
+)
+
+func sampleHeader() header.Header {
+	return header.Header{
+		SrcIP:   header.MustParseIP("10.0.1.1"),
+		DstIP:   header.MustParseIP("10.0.2.1"),
+		Proto:   header.ProtoTCP,
+		SrcPort: 40001,
+		DstPort: 22,
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := Ethernet{Dst: MAC{1, 2, 3, 4, 5, 6}, Src: MAC{7, 8, 9, 10, 11, 12}, EtherType: EtherTypeIPv4}
+	buf := make([]byte, EthernetLen+3)
+	n := e.SerializeTo(buf)
+	if n != EthernetLen {
+		t.Fatalf("serialized %d bytes", n)
+	}
+	got, rest, err := DecodeEthernet(buf)
+	if err != nil || got != e || len(rest) != 3 {
+		t.Fatalf("round trip: %+v, rest %d, err %v", got, len(rest), err)
+	}
+	if _, _, err := DecodeEthernet(buf[:10]); err == nil {
+		t.Fatal("truncated ethernet accepted")
+	}
+	if got.Dst.String() != "01:02:03:04:05:06" {
+		t.Fatalf("MAC string = %q", got.Dst.String())
+	}
+}
+
+func TestIPv4RoundTripAndChecksum(t *testing.T) {
+	ip := IPv4{TOS: 0x10, Length: 40, ID: 7, TTL: 64, Proto: header.ProtoTCP,
+		Src: header.MustParseIP("1.2.3.4"), Dst: header.MustParseIP("5.6.7.8")}
+	buf := make([]byte, IPv4Len)
+	ip.SerializeTo(buf)
+	got, _, err := DecodeIPv4(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ip {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, ip)
+	}
+	// Corrupt a byte: checksum must catch it.
+	buf[15] ^= 0xff
+	if _, _, err := DecodeIPv4(buf); err == nil {
+		t.Fatal("corrupted IPv4 header accepted")
+	}
+}
+
+func TestTCPUDPRoundTrip(t *testing.T) {
+	payload := []byte("hello transport")
+	src, dst := header.MustParseIP("10.0.0.1"), header.MustParseIP("10.0.0.2")
+
+	tc := TCP{SrcPort: 1234, DstPort: 80, Seq: 9, Ack: 11, Flags: 0x18, Window: 4096}
+	tb := make([]byte, TCPLen+len(payload))
+	tc.SerializeTo(tb, src, dst, payload)
+	copy(tb[TCPLen:], payload)
+	gt, pl, err := DecodeTCP(tb)
+	if err != nil || gt != tc || !bytes.Equal(pl, payload) {
+		t.Fatalf("TCP round trip: %+v err %v", gt, err)
+	}
+
+	u := UDP{SrcPort: 53, DstPort: 5353}
+	ub := make([]byte, UDPLen+len(payload))
+	u.SerializeTo(ub, src, dst, payload)
+	copy(ub[UDPLen:], payload)
+	gu, pl, err := DecodeUDP(ub)
+	if err != nil || gu != u || !bytes.Equal(pl, payload) {
+		t.Fatalf("UDP round trip: %+v err %v", gu, err)
+	}
+}
+
+func TestChecksumUpdate16(t *testing.T) {
+	// Incremental update must agree with full recomputation.
+	b := make([]byte, IPv4Len)
+	ip := IPv4{TOS: 0, Length: 20, TTL: 64, Proto: 6, Src: 1, Dst: 2}
+	ip.SerializeTo(b)
+	old := uint16(b[0])<<8 | uint16(b[1])
+	b[1] |= MarkerBit
+	new := uint16(b[0])<<8 | uint16(b[1])
+	incr := ChecksumUpdate16(ip.Checksum, old, new)
+
+	b[10], b[11] = 0, 0
+	full := Checksum(b[:IPv4Len])
+	if incr != full {
+		t.Fatalf("incremental %#04x vs full %#04x", incr, full)
+	}
+}
+
+// Property: ChecksumUpdate16 always agrees with recomputation for random
+// headers and random word flips.
+func TestQuickChecksumUpdate(t *testing.T) {
+	prop := func(seed int64, wordIdx uint8, newVal uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := make([]byte, IPv4Len)
+		rng.Read(b)
+		b[0] = 0x45
+		b[10], b[11] = 0, 0
+		sum := Checksum(b)
+		b[10], b[11] = byte(sum>>8), byte(sum)
+
+		i := int(wordIdx) % (IPv4Len / 2) * 2
+		if i == 10 {
+			return true // skip the checksum field itself
+		}
+		old := uint16(b[i])<<8 | uint16(b[i+1])
+		incr := ChecksumUpdate16(sum, old, newVal)
+		b[i], b[i+1] = byte(newVal>>8), byte(newVal)
+		b[10], b[11] = 0, 0
+		return incr == Checksum(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildAndParsePlain(t *testing.T) {
+	h := sampleHeader()
+	raw := BuildData(h, 64, []byte("payload!"))
+	p, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Header != h {
+		t.Fatalf("parsed header %v, want %v", p.Header, h)
+	}
+	if p.HasVeriDP || p.Sampled {
+		t.Fatal("plain packet claims VeriDP state")
+	}
+	if string(p.Payload) != "payload!" {
+		t.Fatalf("payload %q", p.Payload)
+	}
+	if p.IP.TTL != 64 {
+		t.Fatalf("TTL %d", p.IP.TTL)
+	}
+}
+
+func TestBuildUDPAndOtherProto(t *testing.T) {
+	h := sampleHeader()
+	h.Proto = header.ProtoUDP
+	p, err := Parse(BuildData(h, 32, nil))
+	if err != nil || p.Header != h {
+		t.Fatalf("UDP build/parse: %v err %v", p, err)
+	}
+	h.Proto = header.ProtoICMP
+	h.SrcPort, h.DstPort = 0, 0
+	p, err = Parse(BuildData(h, 32, []byte{8, 0}))
+	if err != nil || p.Header != h {
+		t.Fatalf("ICMP build/parse: %v err %v", p, err)
+	}
+}
+
+func TestEncapsulateDecapsulate(t *testing.T) {
+	h := sampleHeader()
+	raw := BuildData(h, 64, []byte("data"))
+	ingress := topo.PortKey{Switch: 7, Port: 3}
+	tag := bloom.Tag(0xbeef)
+
+	enc, err := Encapsulate(raw, tag, ingress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != len(raw)+2*VLANLen {
+		t.Fatalf("encapsulated length %d", len(enc))
+	}
+	p, err := Parse(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasVeriDP || !p.Sampled {
+		t.Fatal("encapsulated packet not recognized")
+	}
+	if p.Tag != tag || p.Ingress != ingress {
+		t.Fatalf("tag=%v ingress=%v", p.Tag, p.Ingress)
+	}
+	if p.Header != h {
+		t.Fatalf("header corrupted: %v", p.Header)
+	}
+
+	dec, err := Decapsulate(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, raw) {
+		t.Fatal("decapsulation did not restore the original packet")
+	}
+}
+
+func TestEncapsulateRejectsWideTag(t *testing.T) {
+	raw := BuildData(sampleHeader(), 64, nil)
+	if _, err := Encapsulate(raw, bloom.Tag(0x10000), topo.PortKey{Switch: 1, Port: 1}); err == nil {
+		t.Fatal("17-bit tag accepted by 16-bit wire format")
+	}
+	if _, err := Encapsulate(raw, 0, topo.PortKey{Switch: 300, Port: 1}); err == nil {
+		t.Fatal("9-bit switch ID accepted by 8-bit wire field")
+	}
+	if _, err := Encapsulate(raw, 0, topo.PortKey{Switch: 1, Port: 64}); err == nil {
+		t.Fatal("7-bit port ID accepted by 6-bit wire field")
+	}
+}
+
+func TestUpdateTag(t *testing.T) {
+	raw := BuildData(sampleHeader(), 64, nil)
+	enc, _ := Encapsulate(raw, 0x1, topo.PortKey{Switch: 1, Port: 1})
+	if err := UpdateTag(enc, 0xabcd); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := Parse(enc)
+	if p.Tag != 0xabcd {
+		t.Fatalf("tag after update = %v", p.Tag)
+	}
+	if err := UpdateTag(raw, 0x1); err == nil {
+		t.Fatal("UpdateTag on untagged packet succeeded")
+	}
+	if err := UpdateTag(enc, 0x10000); err == nil {
+		t.Fatal("wide tag accepted")
+	}
+}
+
+func TestDecrementTTL(t *testing.T) {
+	raw := BuildData(sampleHeader(), 3, nil)
+	enc, _ := Encapsulate(raw, 0x1, topo.PortKey{Switch: 1, Port: 1})
+	for want := uint8(2); want > 0; want-- {
+		ttl, err := DecrementTTL(enc)
+		if err != nil || ttl != want {
+			t.Fatalf("DecrementTTL = %d, %v; want %d", ttl, err, want)
+		}
+		// The packet must stay parseable (checksum patched correctly).
+		if _, err := Parse(enc); err != nil {
+			t.Fatalf("packet corrupt after TTL decrement: %v", err)
+		}
+	}
+	ttl, err := DecrementTTL(enc)
+	if err != nil || ttl != 0 {
+		t.Fatalf("final decrement: %d, %v", ttl, err)
+	}
+	if _, err := DecrementTTL(enc); err == nil {
+		t.Fatal("TTL decremented below zero")
+	}
+}
+
+func TestInportRoundTrip(t *testing.T) {
+	for sw := topo.SwitchID(0); sw <= 255; sw += 17 {
+		for p := topo.PortID(0); p <= 63; p += 7 {
+			v, err := EncodeInport(topo.PortKey{Switch: sw, Port: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := DecodeInport(v); got.Switch != sw || got.Port != p {
+				t.Fatalf("inport round trip: %v", got)
+			}
+		}
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := &Report{
+		Inport:  topo.PortKey{Switch: 3, Port: 1},
+		Outport: topo.PortKey{Switch: 9, Port: topo.DropPort},
+		Header:  sampleHeader(),
+		Tag:     bloom.Tag(0xdeadbeefcafe),
+		MBits:   48,
+	}
+	b := r.Marshal()
+	if len(b) != ReportLen {
+		t.Fatalf("report length %d", len(b))
+	}
+	got, err := UnmarshalReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *r {
+		t.Fatalf("round trip: %+v vs %+v", got, r)
+	}
+}
+
+func TestReportRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalReport([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short report accepted")
+	}
+	b := (&Report{}).Marshal()
+	b[0] = 0
+	if _, err := UnmarshalReport(b); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	b = (&Report{}).Marshal()
+	b[2] = 99
+	if _, err := UnmarshalReport(b); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+// Property: build → encapsulate → parse preserves the 5-tuple for random
+// headers.
+func TestQuickEndToEndHeaderPreserved(t *testing.T) {
+	prop := func(src, dst uint32, sport, dport uint16, pickUDP bool) bool {
+		h := header.Header{SrcIP: src, DstIP: dst, Proto: header.ProtoTCP, SrcPort: sport, DstPort: dport}
+		if pickUDP {
+			h.Proto = header.ProtoUDP
+		}
+		raw := BuildData(h, 40, []byte("x"))
+		enc, err := Encapsulate(raw, 0x7777, topo.PortKey{Switch: 5, Port: 2})
+		if err != nil {
+			return false
+		}
+		p, err := Parse(enc)
+		return err == nil && p.Header == h && p.HasVeriDP
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuildData(b *testing.B) {
+	h := sampleHeader()
+	payload := make([]byte, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildData(h, 64, payload)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	raw := BuildData(sampleHeader(), 64, make([]byte, 512))
+	enc, _ := Encapsulate(raw, 0xbeef, topo.PortKey{Switch: 1, Port: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateTag(b *testing.B) {
+	raw := BuildData(sampleHeader(), 64, make([]byte, 512))
+	enc, _ := Encapsulate(raw, 0x1, topo.PortKey{Switch: 1, Port: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UpdateTag(enc, bloom.Tag(i&0xffff))
+	}
+}

@@ -1,0 +1,308 @@
+// VeriDP's on-the-wire packet encapsulation (§5): sampled packets carry a
+// marker bit in the IP TOS field, the 16-bit Bloom-filter tag in the first
+// (802.1ad service) VLAN TCI, and the 14-bit entry-port identifier — 8 bits
+// of switch ID, 6 bits of port ID — in the second (802.1Q customer) VLAN
+// TCI. Exit switches pop both tags and clear the marker before delivering
+// the packet to its destination host.
+
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"veridp/internal/bloom"
+	"veridp/internal/header"
+	"veridp/internal/topo"
+)
+
+// MarkerBit is the TOS bit that flags a sampled packet.
+const MarkerBit uint8 = 0x01
+
+// Inport field widths on the wire.
+const (
+	inportSwitchBits = 8
+	inportPortBits   = 6
+	maxWireSwitch    = 1<<inportSwitchBits - 1
+	maxWirePort      = 1<<inportPortBits - 1
+)
+
+// EncodeInport packs an entry port into the 14-bit wire identifier.
+func EncodeInport(pk topo.PortKey) (uint16, error) {
+	if pk.Switch > maxWireSwitch {
+		return 0, fmt.Errorf("packet: switch ID %d exceeds the 8-bit wire field", pk.Switch)
+	}
+	if pk.Port > maxWirePort {
+		return 0, fmt.Errorf("packet: port ID %d exceeds the 6-bit wire field", pk.Port)
+	}
+	return uint16(pk.Switch)<<inportPortBits | uint16(pk.Port), nil
+}
+
+// DecodeInport unpacks the 14-bit wire identifier.
+func DecodeInport(v uint16) topo.PortKey {
+	return topo.PortKey{
+		Switch: topo.SwitchID(v >> inportPortBits & maxWireSwitch),
+		Port:   topo.PortID(v & maxWirePort),
+	}
+}
+
+// BuildData assembles a plain (untagged) data packet for the 5-tuple:
+// Ethernet + IPv4 + TCP/UDP + payload. Protocols other than TCP/UDP carry
+// the payload directly above IP. ttl seeds the IP TTL.
+func BuildData(h header.Header, ttl uint8, payload []byte) []byte {
+	var l4 []byte
+	switch h.Proto {
+	case header.ProtoTCP:
+		l4 = make([]byte, TCPLen+len(payload))
+		t := TCP{SrcPort: h.SrcPort, DstPort: h.DstPort, Window: 65535}
+		t.SerializeTo(l4, h.SrcIP, h.DstIP, payload)
+		copy(l4[TCPLen:], payload)
+	case header.ProtoUDP:
+		l4 = make([]byte, UDPLen+len(payload))
+		u := UDP{SrcPort: h.SrcPort, DstPort: h.DstPort}
+		u.SerializeTo(l4, h.SrcIP, h.DstIP, payload)
+		copy(l4[UDPLen:], payload)
+	default:
+		l4 = payload
+	}
+
+	buf := make([]byte, EthernetLen+IPv4Len+len(l4))
+	eth := Ethernet{EtherType: EtherTypeIPv4}
+	eth.SerializeTo(buf)
+	ip := IPv4{
+		Length: uint16(IPv4Len + len(l4)),
+		TTL:    ttl,
+		Proto:  h.Proto,
+		Src:    h.SrcIP,
+		Dst:    h.DstIP,
+	}
+	ip.SerializeTo(buf[EthernetLen:])
+	copy(buf[EthernetLen+IPv4Len:], l4)
+	return buf
+}
+
+// Encapsulate inserts the two VeriDP VLAN tags into an untagged packet and
+// sets the TOS marker bit (with an incremental checksum fix). Only the low
+// 16 bits of the tag fit the paper's wire format; wider simulated tags must
+// stay in-process.
+func Encapsulate(raw []byte, tag bloom.Tag, ingress topo.PortKey) ([]byte, error) {
+	if uint64(tag)>>16 != 0 {
+		return nil, fmt.Errorf("packet: tag %v exceeds the 16-bit wire field", tag)
+	}
+	inport, err := EncodeInport(ingress)
+	if err != nil {
+		return nil, err
+	}
+	eth, rest, err := DecodeEthernet(raw)
+	if err != nil {
+		return nil, err
+	}
+	if eth.EtherType != EtherTypeIPv4 {
+		return nil, fmt.Errorf("packet: cannot encapsulate EtherType %#04x", eth.EtherType)
+	}
+	out := make([]byte, len(raw)+2*VLANLen)
+	eth.EtherType = EtherTypeSTag
+	eth.SerializeTo(out)
+	v1 := VLAN{TCI: uint16(tag), EtherType: EtherTypeCTag}
+	v1.SerializeTo(out[EthernetLen:])
+	v2 := VLAN{TCI: inport, EtherType: EtherTypeIPv4}
+	v2.SerializeTo(out[EthernetLen+VLANLen:])
+	copy(out[EthernetLen+2*VLANLen:], rest)
+	if err := setMarker(out[EthernetLen+2*VLANLen:], true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Decapsulate removes the VeriDP VLAN tags and clears the marker bit,
+// restoring the packet a destination host should receive.
+func Decapsulate(raw []byte) ([]byte, error) {
+	eth, rest, err := DecodeEthernet(raw)
+	if err != nil {
+		return nil, err
+	}
+	if eth.EtherType != EtherTypeSTag {
+		return nil, fmt.Errorf("packet: not VeriDP-encapsulated (EtherType %#04x)", eth.EtherType)
+	}
+	v1, rest, err := DecodeVLAN(rest)
+	if err != nil {
+		return nil, err
+	}
+	if v1.EtherType != EtherTypeCTag {
+		return nil, fmt.Errorf("packet: missing inner VLAN tag")
+	}
+	v2, rest, err := DecodeVLAN(rest)
+	if err != nil {
+		return nil, err
+	}
+	if v2.EtherType != EtherTypeIPv4 {
+		// VeriDP encapsulation always wraps IPv4 (the marker lives in the
+		// IP TOS field); anything else is a malformed or foreign stack.
+		return nil, fmt.Errorf("packet: VeriDP encapsulation wraps EtherType %#04x, not IPv4", v2.EtherType)
+	}
+	// Validate the wrapped IPv4 header before surgery: popping tags from a
+	// corrupt packet must fail loudly, not emit new garbage.
+	if _, _, err := DecodeIPv4(rest); err != nil {
+		return nil, err
+	}
+	out := make([]byte, EthernetLen+len(rest))
+	eth.EtherType = v2.EtherType
+	eth.SerializeTo(out)
+	copy(out[EthernetLen:], rest)
+	if err := setMarker(out[EthernetLen:], false); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// UpdateTag overwrites the tag TCI of an encapsulated packet in place — the
+// per-hop tagging operation, deliberately cheap (one 16-bit store).
+func UpdateTag(raw []byte, tag bloom.Tag) error {
+	if uint64(tag)>>16 != 0 {
+		return fmt.Errorf("packet: tag %v exceeds the 16-bit wire field", tag)
+	}
+	if len(raw) < EthernetLen+VLANLen {
+		return fmt.Errorf("packet: too short for a VLAN tag")
+	}
+	if binary.BigEndian.Uint16(raw[12:14]) != EtherTypeSTag {
+		return fmt.Errorf("packet: not VeriDP-encapsulated")
+	}
+	binary.BigEndian.PutUint16(raw[EthernetLen:], uint16(tag))
+	return nil
+}
+
+// setMarker sets/clears the TOS marker bit on the IPv4 header at the start
+// of b, patching the checksum incrementally.
+func setMarker(b []byte, on bool) error {
+	if len(b) < IPv4Len {
+		return fmt.Errorf("packet: ipv4 truncated for marker update")
+	}
+	oldWord := binary.BigEndian.Uint16(b[0:2]) // version/IHL + TOS
+	tos := b[1]
+	if on {
+		tos |= MarkerBit
+	} else {
+		tos &^= MarkerBit
+	}
+	b[1] = tos
+	newWord := binary.BigEndian.Uint16(b[0:2])
+	if newWord != oldWord {
+		sum := binary.BigEndian.Uint16(b[10:12])
+		binary.BigEndian.PutUint16(b[10:12], ChecksumUpdate16(sum, oldWord, newWord))
+	}
+	return nil
+}
+
+// DecrementTTL decrements the IPv4 TTL of a (possibly encapsulated) packet
+// in place with an incremental checksum fix, returning the new TTL. This is
+// Algorithm 1's "p.TTL ← p.TTL − 1"; the entry switch seeds the TTL with
+// the network's maximum path length.
+func DecrementTTL(raw []byte) (uint8, error) {
+	off, err := ipOffset(raw)
+	if err != nil {
+		return 0, err
+	}
+	b := raw[off:]
+	if len(b) < IPv4Len {
+		return 0, fmt.Errorf("packet: ipv4 truncated for TTL update")
+	}
+	if b[8] == 0 {
+		return 0, fmt.Errorf("packet: TTL already zero")
+	}
+	oldWord := binary.BigEndian.Uint16(b[8:10]) // TTL + proto
+	b[8]--
+	newWord := binary.BigEndian.Uint16(b[8:10])
+	sum := binary.BigEndian.Uint16(b[10:12])
+	binary.BigEndian.PutUint16(b[10:12], ChecksumUpdate16(sum, oldWord, newWord))
+	return b[8], nil
+}
+
+// ipOffset locates the IPv4 header through any VLAN stack.
+func ipOffset(raw []byte) (int, error) {
+	if len(raw) < EthernetLen {
+		return 0, fmt.Errorf("packet: ethernet truncated")
+	}
+	off := EthernetLen
+	et := binary.BigEndian.Uint16(raw[12:14])
+	for et == EtherTypeSTag || et == EtherTypeCTag {
+		if len(raw) < off+VLANLen {
+			return 0, fmt.Errorf("packet: vlan truncated")
+		}
+		et = binary.BigEndian.Uint16(raw[off+2 : off+4])
+		off += VLANLen
+	}
+	if et != EtherTypeIPv4 {
+		return 0, fmt.Errorf("packet: no IPv4 header (EtherType %#04x)", et)
+	}
+	return off, nil
+}
+
+// Parsed is the fully-decoded view of a packet as the pipeline sees it.
+type Parsed struct {
+	Eth       Ethernet
+	HasVeriDP bool
+	Tag       bloom.Tag    // wire tag (16 bits) when HasVeriDP
+	Ingress   topo.PortKey // entry port when HasVeriDP
+	Sampled   bool         // TOS marker bit
+	IP        IPv4
+	Header    header.Header // 5-tuple summary
+	Payload   []byte        // transport payload
+}
+
+// Parse decodes the full layer chain of a data packet.
+func Parse(raw []byte) (*Parsed, error) {
+	p := &Parsed{}
+	eth, rest, err := DecodeEthernet(raw)
+	if err != nil {
+		return nil, err
+	}
+	p.Eth = eth
+	et := eth.EtherType
+	if et == EtherTypeSTag {
+		v1, r, err := DecodeVLAN(rest)
+		if err != nil {
+			return nil, err
+		}
+		if v1.EtherType != EtherTypeCTag {
+			return nil, fmt.Errorf("packet: expected double VLAN tag, got inner EtherType %#04x", v1.EtherType)
+		}
+		v2, r2, err := DecodeVLAN(r)
+		if err != nil {
+			return nil, err
+		}
+		p.HasVeriDP = true
+		p.Tag = bloom.Tag(v1.TCI)
+		p.Ingress = DecodeInport(v2.TCI)
+		rest = r2
+		et = v2.EtherType
+	}
+	if et != EtherTypeIPv4 {
+		return nil, fmt.Errorf("packet: unsupported EtherType %#04x", et)
+	}
+	ip, rest, err := DecodeIPv4(rest)
+	if err != nil {
+		return nil, err
+	}
+	p.IP = ip
+	p.Sampled = ip.TOS&MarkerBit != 0
+	p.Header = header.Header{SrcIP: ip.Src, DstIP: ip.Dst, Proto: ip.Proto}
+	switch ip.Proto {
+	case header.ProtoTCP:
+		t, payload, err := DecodeTCP(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.Header.SrcPort, p.Header.DstPort = t.SrcPort, t.DstPort
+		p.Payload = payload
+	case header.ProtoUDP:
+		u, payload, err := DecodeUDP(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.Header.SrcPort, p.Header.DstPort = u.SrcPort, u.DstPort
+		p.Payload = payload
+	default:
+		p.Payload = rest
+	}
+	return p, nil
+}

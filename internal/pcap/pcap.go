@@ -1,0 +1,141 @@
+// Package pcap reads and writes classic libpcap capture files (the
+// pre-pcapng format every packet tool understands), so emulated traffic —
+// including VeriDP's double-VLAN-tagged sampled packets — can be captured
+// and inspected with standard tooling. Implemented from the format
+// specification over the standard library.
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+const (
+	magicMicros = 0xa1b2c3d4
+	versionMaj  = 2
+	versionMin  = 4
+	// LinkTypeEthernet is DLT_EN10MB.
+	LinkTypeEthernet = 1
+	// maxSnapLen bounds packet records when reading untrusted files.
+	maxSnapLen = 1 << 18
+)
+
+// Writer emits a pcap stream. Not safe for concurrent use.
+type Writer struct {
+	w       io.Writer
+	snapLen uint32
+}
+
+// NewWriter writes the global header for an Ethernet capture.
+func NewWriter(w io.Writer) (*Writer, error) {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicros)
+	binary.LittleEndian.PutUint16(hdr[4:6], versionMaj)
+	binary.LittleEndian.PutUint16(hdr[6:8], versionMin)
+	// thiszone, sigfigs: zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], maxSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: writing header: %w", err)
+	}
+	return &Writer{w: w, snapLen: maxSnapLen}, nil
+}
+
+// WritePacket records one frame with the given timestamp.
+func (w *Writer) WritePacket(ts time.Time, data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("pcap: empty packet")
+	}
+	if uint32(len(data)) > w.snapLen {
+		return fmt.Errorf("pcap: packet %d bytes exceeds snaplen %d", len(data), w.snapLen)
+	}
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(data)))
+	if _, err := w.w.Write(rec[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(data)
+	return err
+}
+
+// Record is one captured frame.
+type Record struct {
+	Time time.Time
+	Data []byte
+}
+
+// Reader iterates a pcap stream.
+type Reader struct {
+	r        io.Reader
+	snapLen  uint32
+	LinkType uint32
+}
+
+// NewReader validates the global header.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != magicMicros {
+		return nil, fmt.Errorf("pcap: bad magic %#x (only little-endian microsecond captures supported)",
+			binary.LittleEndian.Uint32(hdr[0:4]))
+	}
+	if maj := binary.LittleEndian.Uint16(hdr[4:6]); maj != versionMaj {
+		return nil, fmt.Errorf("pcap: unsupported version %d", maj)
+	}
+	snap := binary.LittleEndian.Uint32(hdr[16:20])
+	if snap == 0 || snap > maxSnapLen {
+		snap = maxSnapLen
+	}
+	return &Reader{
+		r:        r,
+		snapLen:  snap,
+		LinkType: binary.LittleEndian.Uint32(hdr[20:24]),
+	}, nil
+}
+
+// Next returns the next record, or io.EOF at a clean end of stream.
+func (r *Reader) Next() (Record, error) {
+	var rec [16]byte
+	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("pcap: truncated record header: %w", err)
+	}
+	sec := binary.LittleEndian.Uint32(rec[0:4])
+	usec := binary.LittleEndian.Uint32(rec[4:8])
+	capLen := binary.LittleEndian.Uint32(rec[8:12])
+	if capLen == 0 || capLen > r.snapLen {
+		return Record{}, fmt.Errorf("pcap: implausible capture length %d", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Record{}, fmt.Errorf("pcap: truncated packet: %w", err)
+	}
+	return Record{
+		Time: time.Unix(int64(sec), int64(usec)*1000),
+		Data: data,
+	}, nil
+}
+
+// ReadAll drains the stream.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

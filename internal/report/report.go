@@ -1,0 +1,115 @@
+// Package report is the tag-report transport: switches emit reports as
+// plain UDP datagrams (§5); the verification server collects them, parses
+// them, and hands them to a verifier callback. The in-process simulation
+// bypasses UDP; this package exists for the live deployment path
+// (cmd/veridp-server, examples/liveproxy) and is exercised end-to-end over
+// real sockets in its tests.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"veridp/internal/packet"
+)
+
+// Sender ships tag reports to a collector over UDP. Safe for concurrent
+// use: net.UDPConn writes are atomic per datagram.
+type Sender struct {
+	conn *net.UDPConn
+}
+
+// NewSender dials the collector at addr (host:port).
+func NewSender(addr string) (*Sender, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("report: resolve %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("report: dial %q: %w", addr, err)
+	}
+	return &Sender{conn: conn}, nil
+}
+
+// HandleReport implements dataplane.ReportSink by marshalling onto the
+// wire. Send errors are dropped: reports are best-effort telemetry, exactly
+// as UDP encapsulation implies.
+func (s *Sender) HandleReport(r *packet.Report) {
+	s.conn.Write(r.Marshal())
+}
+
+// Close releases the socket.
+func (s *Sender) Close() error { return s.conn.Close() }
+
+// Collector receives and parses report datagrams.
+type Collector struct {
+	conn    *net.UDPConn
+	handler func(*packet.Report)
+	logger  *log.Logger
+
+	received  atomic.Uint64
+	malformed atomic.Uint64
+
+	closeOnce sync.Once
+}
+
+// NewCollector listens on addr (e.g. ":48879") and dispatches each parsed
+// report to handler. logger may be nil.
+func NewCollector(addr string, handler func(*packet.Report), logger *log.Logger) (*Collector, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("report: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("report: listen %q: %w", addr, err)
+	}
+	return &Collector{conn: conn, handler: handler, logger: logger}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
+
+// Run reads datagrams until Close; it always returns a non-nil error
+// (net.ErrClosed after Close).
+func (c *Collector) Run() error {
+	buf := make([]byte, 2048)
+	for {
+		n, _, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return err
+			}
+			if c.logger != nil {
+				c.logger.Printf("report: read: %v", err)
+			}
+			continue
+		}
+		r, err := packet.UnmarshalReport(buf[:n])
+		if err != nil {
+			c.malformed.Add(1)
+			if c.logger != nil {
+				c.logger.Printf("report: malformed datagram from the wire: %v", err)
+			}
+			continue
+		}
+		c.received.Add(1)
+		c.handler(r)
+	}
+}
+
+// Received returns the count of well-formed reports processed.
+func (c *Collector) Received() uint64 { return c.received.Load() }
+
+// Malformed returns the count of undecodable datagrams.
+func (c *Collector) Malformed() uint64 { return c.malformed.Load() }
+
+// Close stops Run.
+func (c *Collector) Close() {
+	c.closeOnce.Do(func() { c.conn.Close() })
+}

@@ -1,0 +1,135 @@
+package report
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"veridp/internal/bloom"
+	"veridp/internal/header"
+	"veridp/internal/packet"
+	"veridp/internal/topo"
+)
+
+func sampleReport(i int) *packet.Report {
+	return &packet.Report{
+		Inport:  topo.PortKey{Switch: 1, Port: 1},
+		Outport: topo.PortKey{Switch: 3, Port: 2},
+		Header: header.Header{
+			SrcIP: 0x0a000101, DstIP: 0x0a000201,
+			Proto: header.ProtoTCP, SrcPort: uint16(1000 + i), DstPort: 22,
+		},
+		Tag:   bloom.Tag(0xbeef),
+		MBits: 16,
+	}
+}
+
+// collectorPair spins up a collector and a sender dialed at it.
+func collectorPair(t *testing.T, handler func(*packet.Report)) (*Collector, *Sender) {
+	t.Helper()
+	c, err := NewCollector("127.0.0.1:0", handler, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go c.Run()
+	s, err := NewSender(c.Addr().String())
+	if err != nil {
+		c.Close()
+		t.Fatal(err)
+	}
+	return c, s
+}
+
+func TestSenderToCollector(t *testing.T) {
+	var mu sync.Mutex
+	var got []*packet.Report
+	c, s := collectorPair(t, func(r *packet.Report) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+	})
+	defer c.Close()
+	defer s.Close()
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		s.HandleReport(sampleReport(i))
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		mu.Lock()
+		cnt := len(got)
+		mu.Unlock()
+		if cnt == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d reports", cnt, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	seen := map[uint16]bool{}
+	for _, r := range got {
+		if r.Tag != 0xbeef || r.Outport.Port != 2 {
+			t.Fatalf("corrupted report %v", r)
+		}
+		seen[r.Header.SrcPort] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("distinct flows %d, want %d", len(seen), n)
+	}
+	if c.Received() != n {
+		t.Fatalf("Received() = %d", c.Received())
+	}
+}
+
+func TestCollectorIgnoresGarbage(t *testing.T) {
+	done := make(chan struct{}, 1)
+	c, s := collectorPair(t, func(*packet.Report) { done <- struct{}{} })
+	defer c.Close()
+	defer s.Close()
+
+	// Raw garbage straight at the socket.
+	s.conn.Write([]byte("not a report"))
+	// Then a valid report; the collector must still be alive.
+	s.HandleReport(sampleReport(0))
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("collector died on garbage")
+	}
+	if c.Malformed() == 0 {
+		t.Fatal("malformed counter not incremented")
+	}
+}
+
+func TestCollectorCloseStopsRun(t *testing.T) {
+	c, err := NewCollector("127.0.0.1:0", func(*packet.Report) {}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Run() }()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Run returned nil after Close")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Run did not stop after Close")
+	}
+	c.Close() // idempotent
+}
+
+func TestSenderBadAddress(t *testing.T) {
+	if _, err := NewSender("this is not an address"); err == nil {
+		t.Fatal("garbage address accepted")
+	}
+	if _, err := NewCollector("this is not an address", nil, nil); err == nil {
+		t.Fatal("garbage address accepted")
+	}
+}

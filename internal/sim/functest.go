@@ -1,0 +1,234 @@
+// The §6.2 function tests on the Stanford-like environment: black hole,
+// path deviation, access violation, and loop. Each scenario injects one
+// data-plane-only fault, drives the affected flow, and checks that
+// verification fails and (where the paper claims it) the faulty switch is
+// localized.
+
+package sim
+
+import (
+	"fmt"
+
+	"veridp/internal/bloom"
+	"veridp/internal/core"
+	"veridp/internal/dataplane"
+	"veridp/internal/flowtable"
+	"veridp/internal/header"
+	"veridp/internal/packet"
+	"veridp/internal/topo"
+)
+
+// FunctionTestResult reports one §6.2 scenario.
+type FunctionTestResult struct {
+	Name      string
+	Detected  bool // some report failed verification
+	Localized bool // the faulty switch was named
+	Blamed    string
+	Expected  string
+	Detail    string
+}
+
+// FunctionTests runs all four §6.2 scenarios, each on a fresh Stanford-like
+// environment, and returns their outcomes.
+func FunctionTests(scale StanfordScale, params bloom.Params) ([]FunctionTestResult, error) {
+	runs := []struct {
+		name string
+		run  func() (FunctionTestResult, error)
+	}{
+		{"black hole", func() (FunctionTestResult, error) { return functestBlackhole(scale, params) }},
+		{"path deviation", func() (FunctionTestResult, error) { return functestDeviation(scale, params) }},
+		{"access violation", func() (FunctionTestResult, error) { return functestACL(scale, params) }},
+		{"loop", func() (FunctionTestResult, error) { return functestLoop(scale, params) }},
+	}
+	var out []FunctionTestResult
+	for _, r := range runs {
+		res, err := r.run()
+		if err != nil {
+			return out, fmt.Errorf("sim: %s: %w", r.name, err)
+		}
+		res.Name = r.name
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// bozaRouteRule finds boza's physical rule routing toward coza's first
+// subnet — the rule both the black-hole and deviation tests corrupt,
+// mirroring the paper's boza→coza flow.
+func bozaRouteRule(e *Env) (topo.SwitchID, uint64, header.Header, error) {
+	boza := e.Net.SwitchByName("boza")
+	dst := e.Net.Host("host-coza-0")
+	src := e.Net.Host("host-boza-0")
+	if dst == nil || src == nil {
+		return 0, 0, header.Header{}, fmt.Errorf("hosts missing")
+	}
+	h := header.Header{SrcIP: src.IP, DstIP: dst.IP, Proto: header.ProtoTCP, DstPort: 80}
+	r := e.Fabric.Switch(boza.ID).Config.Table.Lookup(3, h)
+	if r == nil {
+		return 0, 0, header.Header{}, fmt.Errorf("no route at boza for %v", h)
+	}
+	return boza.ID, r.ID, h, nil
+}
+
+func functestBlackhole(scale StanfordScale, params bloom.Params) (FunctionTestResult, error) {
+	e, err := StanfordEnv(scale, params)
+	if err != nil {
+		return FunctionTestResult{}, err
+	}
+	pt := e.Table()
+	sw, ruleID, h, err := bozaRouteRule(e)
+	if err != nil {
+		return FunctionTestResult{}, err
+	}
+	if err := e.Fabric.Switch(sw).Config.Table.Modify(ruleID, func(r *flowtable.Rule) { r.Action = flowtable.ActDrop }); err != nil {
+		return FunctionTestResult{}, err
+	}
+	res, err := e.Fabric.InjectFromHost("host-boza-0", h)
+	if err != nil {
+		return FunctionTestResult{}, err
+	}
+	return scoreScenario(e, pt, res, "boza")
+}
+
+func functestDeviation(scale StanfordScale, params bloom.Params) (FunctionTestResult, error) {
+	e, err := StanfordEnv(scale, params)
+	if err != nil {
+		return FunctionTestResult{}, err
+	}
+	pt := e.Table()
+	sw, ruleID, h, err := bozaRouteRule(e)
+	if err != nil {
+		return FunctionTestResult{}, err
+	}
+	// Deviate to the other backbone uplink (port 1 ↔ port 2), the paper's
+	// "replace the action to forward towards bbrb".
+	var oldPort topo.PortID
+	err = e.Fabric.Switch(sw).Config.Table.Modify(ruleID, func(r *flowtable.Rule) {
+		oldPort = r.OutPort
+		if r.OutPort == 1 {
+			r.OutPort = 2
+		} else {
+			r.OutPort = 1
+		}
+	})
+	if err != nil {
+		return FunctionTestResult{}, err
+	}
+	_ = oldPort
+	res, err := e.Fabric.InjectFromHost("host-boza-0", h)
+	if err != nil {
+		return FunctionTestResult{}, err
+	}
+	return scoreScenario(e, pt, res, "boza")
+}
+
+func functestACL(scale StanfordScale, params bloom.Params) (FunctionTestResult, error) {
+	e, err := StanfordEnv(scale, params)
+	if err != nil {
+		return FunctionTestResult{}, err
+	}
+	// Policy: cozb denies everything from sozb's /16 arriving on its
+	// uplinks — installed on both planes, then deleted from the physical
+	// plane only (the §6.2 access-violation fault).
+	cozb := e.Net.SwitchByName("cozb")
+	sozbIdx := 11 // soz pair is index 5; "b" member = 2*5+1
+	srcBase, srcLen := topo.StanfordSubnet(sozbIdx)
+	deny := flowtable.ACLRule{
+		Match:  flowtable.Match{SrcPrefix: flowtable.Prefix{IP: srcBase, Len: srcLen}},
+		Permit: false,
+	}
+	for _, uplink := range []topo.PortID{1, 2} {
+		e.Ctrl.Logical()[cozb.ID].InACL[uplink] = append(e.Ctrl.Logical()[cozb.ID].InACL[uplink], deny)
+		phys := e.Fabric.Switch(cozb.ID).Config
+		phys.InACL[uplink] = append(phys.InACL[uplink], deny)
+	}
+	pt := e.Build() // table includes the deny
+	e.table = pt
+
+	// Fault: the physical ACL vanishes.
+	phys := e.Fabric.Switch(cozb.ID).Config
+	phys.InACL[1] = nil
+	phys.InACL[2] = nil
+
+	h := header.Header{
+		SrcIP: e.Net.Host("host-sozb-0").IP,
+		DstIP: e.Net.Host("host-cozb-0").IP,
+		Proto: header.ProtoTCP, DstPort: 80,
+	}
+	res, err := e.Fabric.InjectFromHost("host-sozb-0", h)
+	if err != nil {
+		return FunctionTestResult{}, err
+	}
+	if res.Outcome != dataplane.OutcomeDelivered {
+		return FunctionTestResult{Detail: fmt.Sprintf("flow not delivered (%v) — ACL still active?", res.Outcome)}, nil
+	}
+	return scoreScenario(e, pt, res, "cozb")
+}
+
+func functestLoop(scale StanfordScale, params bloom.Params) (FunctionTestResult, error) {
+	e, err := StanfordEnv(scale, params)
+	if err != nil {
+		return FunctionTestResult{}, err
+	}
+	pt := e.Table()
+	// Physical-only rules bounce a victim destination between yoza and its
+	// bbra-side L2 switch: the control plane stays loop-free, the data
+	// plane loops (§6.1's deliberate initial inconsistency, inverted).
+	yoza := e.Net.SwitchByName("yoza")
+	up, ok := e.Net.Peer(topo.PortKey{Switch: yoza.ID, Port: 1})
+	if !ok {
+		return FunctionTestResult{}, fmt.Errorf("yoza uplink missing")
+	}
+	victim := flowtable.Prefix{IP: header.MustParseIP("172.26.4.152"), Len: 32}
+	e.Fabric.Switch(yoza.ID).Config.Table.Add(&flowtable.Rule{
+		Priority: 60000, Match: flowtable.Match{DstPrefix: victim},
+		Action: flowtable.ActOutput, OutPort: 1,
+	})
+	e.Fabric.Switch(up.Switch).Config.Table.Add(&flowtable.Rule{
+		Priority: 60000, Match: flowtable.Match{DstPrefix: victim},
+		Action: flowtable.ActOutput, OutPort: up.Port,
+	})
+	h := header.Header{SrcIP: e.Net.Host("host-yoza-0").IP, DstIP: victim.IP, Proto: header.ProtoTCP, DstPort: 443}
+	res, err := e.Fabric.InjectFromHost("host-yoza-0", h)
+	if err != nil {
+		return FunctionTestResult{}, err
+	}
+	if res.Outcome != dataplane.OutcomeLooped {
+		return FunctionTestResult{Detail: fmt.Sprintf("expected a loop, got %v", res.Outcome)}, nil
+	}
+	detected := false
+	for _, rep := range res.Reports {
+		if !pt.Verify(rep).OK {
+			detected = true
+		}
+	}
+	return FunctionTestResult{
+		Detected: detected,
+		Detail:   fmt.Sprintf("loop emitted %d TTL reports", len(res.Reports)),
+	}, nil
+}
+
+// scoreScenario verifies the flow's reports and attempts localization.
+func scoreScenario(e *Env, pt *core.PathTable, res *dataplane.Result, expectSwitch string) (FunctionTestResult, error) {
+	out := FunctionTestResult{Expected: expectSwitch}
+	var failing *packet.Report
+	for _, rep := range res.Reports {
+		if !pt.Verify(rep).OK {
+			out.Detected = true
+			failing = rep
+		}
+	}
+	if failing == nil {
+		out.Detail = "all reports verified — fault undetected"
+		return out, nil
+	}
+	blamed, _, ok := pt.Localize(failing)
+	if ok {
+		if sw := e.Net.Switch(blamed); sw != nil {
+			out.Blamed = sw.Name
+		}
+		out.Localized = out.Blamed == expectSwitch
+	}
+	out.Detail = fmt.Sprintf("outcome=%v reports=%d", res.Outcome, len(res.Reports))
+	return out, nil
+}

@@ -1,0 +1,127 @@
+// Detection-latency experiment (§4.5). With per-flow sampling interval T_s
+// and maximum inter-packet gap T_a, the time from a fault occurring to the
+// first sampled (and therefore verified) packet that experiences it is at
+// most T_s + T_a — Figure 9's worst case. The experiment drives one flow
+// through a fabric under a fake clock, injects a wrong-port fault
+// mid-stream, and measures when verification first fails.
+
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"veridp/internal/bloom"
+	"veridp/internal/controller"
+	"veridp/internal/core"
+	"veridp/internal/dataplane"
+	"veridp/internal/flowtable"
+	"veridp/internal/header"
+	"veridp/internal/topo"
+)
+
+// LatencyConfig parameterizes the §4.5 experiment.
+type LatencyConfig struct {
+	SamplingInterval time.Duration // T_s
+	MaxInterArrival  time.Duration // T_a: packet gaps are uniform in (0, T_a]
+	Trials           int
+	Seed             int64
+}
+
+// LatencyResult reports measured detection latencies against the bound.
+type LatencyResult struct {
+	Bound     time.Duration // T_s + T_a
+	Latencies []time.Duration
+}
+
+// Max returns the worst measured latency.
+func (r LatencyResult) Max() time.Duration {
+	var m time.Duration
+	for _, l := range r.Latencies {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// DetectionLatency runs the experiment on a 3-switch chain. Each trial
+// streams packets of one flow with random gaps ≤ T_a, flips the middle
+// switch's route at a random instant, and records the delay until a
+// sampled packet's report fails verification.
+func DetectionLatency(cfg LatencyConfig) (*LatencyResult, error) {
+	if cfg.SamplingInterval <= 0 || cfg.MaxInterArrival <= 0 || cfg.Trials <= 0 {
+		return nil, fmt.Errorf("sim: invalid latency config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &LatencyResult{Bound: cfg.SamplingInterval + cfg.MaxInterArrival}
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		n := topo.Linear(3, 1)
+		now := time.Unix(10_000, 0)
+		f := dataplane.NewFabric(n,
+			dataplane.WithParams(bloom.Params{MBits: 32}), // collisions off the critical claim
+			dataplane.WithSampler(func() dataplane.Sampler {
+				return dataplane.NewFlowSampler(cfg.SamplingInterval)
+			}),
+			dataplane.WithClock(func() time.Time { return now }),
+		)
+		c := controller.New(n, &dataplane.FabricInstaller{Fabric: f})
+		if err := c.RouteAllHosts(); err != nil {
+			return nil, err
+		}
+		pt := (&core.Builder{Net: n, Space: header.NewSpace(), Params: bloom.Params{MBits: 32}, Configs: c.Logical()}).Build()
+
+		flow := header.Header{
+			SrcIP: n.Host("h1-0").IP, DstIP: n.Host("h3-0").IP,
+			Proto: header.ProtoTCP, SrcPort: 50000, DstPort: 80,
+		}
+		// The middle switch's rule for the destination.
+		mid := n.SwitchByName("s2")
+		rule := f.Switch(mid.ID).Config.Table.Lookup(1, flow)
+		if rule == nil {
+			return nil, fmt.Errorf("sim: no route at the middle switch")
+		}
+
+		faultAfter := time.Duration(rng.Int63n(int64(10 * cfg.SamplingInterval)))
+		start := now
+		faultInjected := false
+		var faultTime time.Time
+
+		for step := 0; step < 4096; step++ {
+			gap := time.Duration(1 + rng.Int63n(int64(cfg.MaxInterArrival)))
+			now = now.Add(gap)
+			if !faultInjected && now.Sub(start) >= faultAfter {
+				// Flip the route to the port back toward s1: the §6.3
+				// wrong-port fault, applied between two packets.
+				if err := f.Switch(mid.ID).Config.Table.Modify(rule.ID, func(r *flowtable.Rule) { r.OutPort = 1 }); err != nil {
+					return nil, err
+				}
+				faultInjected = true
+				faultTime = now.Add(-gap) // fault landed right after the previous packet
+			}
+			r, err := f.InjectFromHost("h1-0", flow)
+			if err != nil {
+				return nil, err
+			}
+			if !faultInjected {
+				continue
+			}
+			detected := false
+			for _, rep := range r.Reports {
+				if !pt.Verify(rep).OK {
+					detected = true
+				}
+			}
+			if detected {
+				res.Latencies = append(res.Latencies, now.Sub(faultTime))
+				break
+			}
+		}
+		if len(res.Latencies) != trial+1 {
+			return nil, fmt.Errorf("sim: trial %d never detected the fault", trial)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"veridp/internal/bloom"
+	"veridp/internal/core"
+	"veridp/internal/dataplane"
+	"veridp/internal/faults"
+	"veridp/internal/topo"
+	"veridp/internal/traffic"
+)
+
+// TestSoakRandomFaults hammers randomized environments with randomized
+// faults and asserts the two soundness meta-invariants end to end:
+//
+//  1. No false positives: on a healthy network every report verifies.
+//  2. Detection soundness (with 64-bit tags, where Bloom collisions are
+//     negligible): every packet whose actual path deviates from the
+//     intended one and that produced a report fails verification.
+func TestSoakRandomFaults(t *testing.T) {
+	params := bloom.Params{MBits: 64}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		var (
+			e   *Env
+			err error
+		)
+		switch seed % 3 {
+		case 0:
+			e, err = FatTreeEnv(4, params)
+		case 1:
+			e, err = Internet2Env(Internet2Scale{HostsPerRouter: 2, Prefixes: 32, Seed: seed}, params)
+		default:
+			e, err = StanfordEnv(StanfordScale{HostsPerRouter: 2, SubnetsPerRouter: 3, ACLRules: 8, ServicePolicies: 6, Seed: seed}, params)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := e.Table()
+		mesh := traffic.PingMesh(e.Net)
+		if len(mesh) > 300 {
+			mesh = mesh[:300]
+		}
+
+		// Invariant 1: healthy network, zero violations.
+		for _, ping := range mesh {
+			res, err := e.Fabric.InjectFromHost(ping.SrcHost, ping.Header)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rep := range res.Reports {
+				if v := pt.Verify(rep); !v.OK {
+					t.Fatalf("seed %d: healthy %s violates: %v", seed, e.Name, v.Reason)
+				}
+			}
+		}
+
+		// Random fault of a random kind.
+		sw, ruleID, ok := faults.RandomRule(e.Fabric, rng)
+		if !ok {
+			t.Fatalf("seed %d: no rules", seed)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			_, err = faults.WrongPort(e.Fabric, sw, ruleID, rng)
+		case 1:
+			_, err = faults.Blackhole(e.Fabric, sw, ruleID)
+		default:
+			_, err = faults.Evict(e.Fabric, sw, ruleID)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Invariant 2: deviated-and-reported ⇒ detected.
+		for _, ping := range mesh {
+			res, err := e.Fabric.InjectFromHost(ping.SrcHost, ping.Header)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Reports) == 0 {
+				continue // lost packets are out of scope (§3.3)
+			}
+			intended := pt.IntendedPath(e.Net.Host(ping.SrcHost).Attach, ping.Header)
+			if samePaths(intended, res.Path) {
+				// Unaffected ping: must still verify.
+				for _, rep := range res.Reports {
+					if v := pt.Verify(rep); !v.OK {
+						t.Fatalf("seed %d: unaffected ping violates: %v", seed, v.Reason)
+					}
+				}
+				continue
+			}
+			detected := false
+			for _, rep := range res.Reports {
+				if !pt.Verify(rep).OK {
+					detected = true
+				}
+			}
+			if !detected {
+				t.Fatalf("seed %d: deviated ping escaped detection (intended %v, actual %v)",
+					seed, intended, res.Path)
+			}
+		}
+	}
+}
+
+func samePaths(a, b topo.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSoakRepairConverges: inject, detect, repair, and demand the whole
+// mesh verifies again — over several random fault rounds.
+func TestSoakRepairConverges(t *testing.T) {
+	params := bloom.Params{MBits: 32}
+	e, err := FatTreeEnv(4, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := e.Table()
+	mesh := traffic.PingMesh(e.Net)
+	rng := rand.New(rand.NewSource(77))
+	inst := installerFor(e)
+
+	repaired := 0
+	for round := 0; round < 12; round++ {
+		sw, ruleID, ok := faults.RandomRule(e.Fabric, rng)
+		if !ok {
+			t.Fatal("no rules")
+		}
+		if _, err := faults.WrongPort(e.Fabric, sw, ruleID, rng); err != nil {
+			t.Fatal(err)
+		}
+		// Drive the mesh; repair on the first failure.
+		for _, ping := range mesh {
+			res, err := e.Fabric.InjectFromHost(ping.SrcHost, ping.Header)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rep := range res.Reports {
+				if pt.Verify(rep).OK {
+					continue
+				}
+				if _, err := pt.Repair(rep, inst); err != nil {
+					t.Fatalf("round %d: repair failed: %v", round, err)
+				}
+				repaired++
+			}
+		}
+		// Post-repair sweep must be clean.
+		for _, ping := range mesh {
+			res, err := e.Fabric.InjectFromHost(ping.SrcHost, ping.Header)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rep := range res.Reports {
+				if v := pt.Verify(rep); !v.OK {
+					t.Fatalf("round %d: still inconsistent after repair: %v", round, v.Reason)
+				}
+			}
+		}
+	}
+	if repaired == 0 {
+		t.Skip("no fault was exercised in any round")
+	}
+}
+
+func installerFor(e *Env) core.RuleInstaller {
+	return &dataplane.FabricInstaller{Fabric: e.Fabric}
+}

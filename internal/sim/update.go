@@ -1,0 +1,114 @@
+// Incremental path-table update experiment (Figure 14). Per §6.5: populate
+// eight of Internet2's nine routers, leave the ninth empty, then install
+// its rules one-by-one, measuring the time to update the path table for
+// each rule. The paper reports most updates under 10 ms; the comparison
+// point is a full rebuild.
+
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"veridp/internal/flowtable"
+	"veridp/internal/topo"
+)
+
+// UpdateMeasurement is one Figure 14 data point.
+type UpdateMeasurement struct {
+	RuleIndex int
+	Prefix    flowtable.Prefix
+	Duration  time.Duration
+}
+
+// UpdateExperimentResult aggregates the Figure 14 run.
+type UpdateExperimentResult struct {
+	Target       string // the initially-empty router
+	Measurements []UpdateMeasurement
+	RebuildTime  time.Duration // full Algorithm 2 rebuild, for comparison
+}
+
+// Percentile returns the p-quantile (0..1) of per-rule update times.
+func (r UpdateExperimentResult) Percentile(p float64) time.Duration {
+	if len(r.Measurements) == 0 {
+		return 0
+	}
+	ds := make([]time.Duration, len(r.Measurements))
+	for i, m := range r.Measurements {
+		ds[i] = m.Duration
+	}
+	for i := 1; i < len(ds); i++ { // insertion sort; n is small enough
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	idx := int(p * float64(len(ds)-1))
+	return ds[idx]
+}
+
+// IncrementalUpdate runs the Figure 14 experiment on an Internet2-like
+// environment: strip the target router's rules, build the table, then
+// re-add the rules one at a time through the §4.4 incremental path.
+func IncrementalUpdate(scale Internet2Scale, targetRouter string) (*UpdateExperimentResult, error) {
+	e, err := Internet2Env(scale, defaultBloom())
+	if err != nil {
+		return nil, err
+	}
+	target := e.Net.SwitchByName(targetRouter)
+	if target == nil {
+		return nil, fmt.Errorf("sim: unknown router %q", targetRouter)
+	}
+
+	// Snapshot and strip the target's rules from both planes.
+	type pending struct {
+		prefix flowtable.Prefix
+		port   topo.PortID
+	}
+	var toAdd []pending
+	for _, r := range e.Ctrl.Logical()[target.ID].Table.Rules() {
+		toAdd = append(toAdd, pending{r.Match.DstPrefix, r.OutPort})
+	}
+	ids := make([]uint64, 0, len(toAdd))
+	for _, r := range e.Ctrl.Logical()[target.ID].Table.Rules() {
+		ids = append(ids, r.ID)
+	}
+	for _, id := range ids {
+		if err := e.Ctrl.RemoveRule(target.ID, id); err != nil {
+			return nil, err
+		}
+	}
+
+	pt := e.Build()
+	tree := flowtable.NewPrefixTree(e.Space, target.Ports())
+	res := &UpdateExperimentResult{Target: targetRouter}
+
+	for i, p := range toAdd {
+		start := time.Now()
+		_, delta, err := tree.Insert(p.prefix, p.port)
+		if err != nil {
+			continue // duplicate prefix in the synthetic set
+		}
+		if err := pt.ApplyDelta(target.ID, delta); err != nil {
+			return nil, err
+		}
+		res.Measurements = append(res.Measurements, UpdateMeasurement{
+			RuleIndex: i,
+			Prefix:    p.prefix,
+			Duration:  time.Since(start),
+		})
+		// Mirror logically so a rebuild comparison stays meaningful.
+		if _, err := e.Ctrl.InstallRule(target.ID, flowtable.Rule{
+			Priority: uint16(p.prefix.Len),
+			Match:    flowtable.Match{DstPrefix: p.prefix},
+			Action:   flowtable.ActOutput,
+			OutPort:  p.port,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	e.Build()
+	res.RebuildTime = time.Since(start)
+	return res, nil
+}

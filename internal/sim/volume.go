@@ -1,0 +1,82 @@
+// Report-volume comparison (§7): NetSight records a postcard for every
+// packet at every hop, so its telemetry volume is (packets × path length);
+// VeriDP samples flows at entry switches and emits one report per sampled
+// packet. This experiment counts both over the same workload, quantifying
+// the §7 claim that per-hop postcards "incur a huge volume of postcards
+// traffic" compared to VeriDP's flow sampling.
+
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"veridp/internal/dataplane"
+	"veridp/internal/topo"
+	"veridp/internal/traffic"
+)
+
+// VolumeConfig parameterizes the comparison.
+type VolumeConfig struct {
+	Flows            int
+	PacketsPerFlow   int
+	MeanInterArrival time.Duration // exponential-ish gaps between a flow's packets
+	SamplingInterval time.Duration // VeriDP's per-flow T_s
+	Seed             int64
+}
+
+// VolumeResult reports the two systems' telemetry volumes.
+type VolumeResult struct {
+	Packets           int
+	TotalHops         int
+	NetSightPostcards int // = TotalHops: one postcard per packet per hop
+	VeriDPReports     int
+}
+
+// Ratio returns NetSight postcards per VeriDP report.
+func (r VolumeResult) Ratio() float64 {
+	if r.VeriDPReports == 0 {
+		return 0
+	}
+	return float64(r.NetSightPostcards) / float64(r.VeriDPReports)
+}
+
+// ReportVolume runs the workload over FT(k=4) with per-flow sampling and
+// counts VeriDP reports against the postcards NetSight would have produced.
+func ReportVolume(cfg VolumeConfig) (*VolumeResult, error) {
+	if cfg.Flows <= 0 || cfg.PacketsPerFlow <= 0 {
+		return nil, fmt.Errorf("sim: invalid volume config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := topo.FatTree(4)
+	now := time.Unix(50_000, 0)
+	f := dataplane.NewFabric(n,
+		dataplane.WithSampler(func() dataplane.Sampler {
+			return dataplane.NewFlowSampler(cfg.SamplingInterval)
+		}),
+		dataplane.WithClock(func() time.Time { return now }),
+	)
+	c := controllerFor(n, f)
+	if err := c.RouteAllHosts(); err != nil {
+		return nil, err
+	}
+
+	flows := traffic.RandomFlows(n, cfg.Flows, rng)
+	res := &VolumeResult{}
+	for _, flow := range flows {
+		src := n.HostByIP(flow.SrcIP)
+		for p := 0; p < cfg.PacketsPerFlow; p++ {
+			now = now.Add(time.Duration(1 + rng.Int63n(int64(2*cfg.MeanInterArrival))))
+			r, err := f.Inject(src.Attach, flow)
+			if err != nil {
+				return nil, err
+			}
+			res.Packets++
+			res.TotalHops += len(r.Path)
+			res.VeriDPReports += len(r.Reports)
+		}
+	}
+	res.NetSightPostcards = res.TotalHops
+	return res, nil
+}

@@ -1,0 +1,78 @@
+// Fat-tree topology builder. The paper evaluates localization accuracy and
+// path-table statistics on FT(k=4) and FT(k=6) (Tables 2 and 3), emulating
+// "medium-sized networks".
+
+package topo
+
+import "fmt"
+
+// FatTree builds the standard k-ary fat tree: k pods, each with k/2 edge and
+// k/2 aggregation switches, (k/2)² core switches, and k/2 hosts per edge
+// switch (k³/4 hosts total). k must be even and ≥ 2.
+//
+// Port layout:
+//   - edge switch:  ports 1..k/2 to hosts, ports k/2+1..k to the pod's
+//     aggregation switches (in index order)
+//   - aggregation:  ports 1..k/2 to the pod's edge switches, ports
+//     k/2+1..k to its core group
+//   - core (g,i):   port p connects to pod p-1's aggregation switch g
+//
+// Host IPs follow the conventional 10.pod.edge.(host+1) scheme.
+func FatTree(k int) *Network {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topo: fat tree arity %d must be even and >= 2", k))
+	}
+	n := NewNetwork()
+	half := k / 2
+
+	edges := make([][]*Switch, k)    // [pod][edge index]
+	aggs := make([][]*Switch, k)     // [pod][agg index]
+	cores := make([][]*Switch, half) // [group][index within group]
+
+	for p := 0; p < k; p++ {
+		edges[p] = make([]*Switch, half)
+		aggs[p] = make([]*Switch, half)
+		for e := 0; e < half; e++ {
+			edges[p][e] = n.AddSwitch(fmt.Sprintf("edge-%d-%d", p, e), k)
+		}
+		for a := 0; a < half; a++ {
+			aggs[p][a] = n.AddSwitch(fmt.Sprintf("agg-%d-%d", p, a), k)
+		}
+	}
+	for g := 0; g < half; g++ {
+		cores[g] = make([]*Switch, half)
+		for i := 0; i < half; i++ {
+			cores[g][i] = n.AddSwitch(fmt.Sprintf("core-%d-%d", g, i), k)
+		}
+	}
+
+	// Edge ↔ aggregation inside each pod.
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				n.AddLink(edges[p][e].ID, PortID(half+a+1), aggs[p][a].ID, PortID(e+1))
+			}
+		}
+	}
+	// Aggregation ↔ core: aggregation switch a of each pod uplinks to core
+	// group a; its i-th uplink goes to the group's i-th core switch, which
+	// dedicates one port per pod.
+	for p := 0; p < k; p++ {
+		for a := 0; a < half; a++ {
+			for i := 0; i < half; i++ {
+				n.AddLink(aggs[p][a].ID, PortID(half+i+1), cores[a][i].ID, PortID(p+1))
+			}
+		}
+	}
+	// Hosts.
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for h := 0; h < half; h++ {
+				ip := uint32(10)<<24 | uint32(p)<<16 | uint32(e)<<8 | uint32(h+1)
+				name := fmt.Sprintf("h-%d-%d-%d", p, e, h)
+				n.AddHost(name, ip, edges[p][e].ID, PortID(h+1))
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,230 @@
+// Shortest-path computation over the topology graph. The controller uses
+// these to compile routing rules; the fault-localization experiments use
+// them to know the intended path of a flow.
+
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// adjacency returns, for each switch, its internal links as (local port,
+// neighbor switch, neighbor port) sorted by local port for determinism.
+type adjEntry struct {
+	localPort PortID
+	peer      PortKey
+}
+
+func (n *Network) adjacency(sw SwitchID) []adjEntry {
+	s := n.switches[sw]
+	if s == nil {
+		return nil
+	}
+	var out []adjEntry
+	for _, p := range s.Ports() {
+		if s.Role(p) != RoleInternal {
+			continue
+		}
+		peer, ok := n.links[PortKey{sw, p}]
+		if ok {
+			out = append(out, adjEntry{p, peer})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].localPort < out[j].localPort })
+	return out
+}
+
+// ShortestPath returns one shortest switch-level path from the edge port src
+// to the edge port dst as a hop list: the first hop enters at src.Port, the
+// last exits at dst.Port. It returns an error when no path exists.
+func (n *Network) ShortestPath(src, dst PortKey) (Path, error) {
+	paths, err := n.ShortestPaths(src, dst, 1)
+	if err != nil {
+		return nil, err
+	}
+	return paths[0], nil
+}
+
+// ShortestPaths returns up to maxPaths equal-cost shortest paths from src to
+// dst (ECMP sets, used by the traffic-engineering policy of Figure 3). All
+// returned paths have the same minimal length. Deterministic given the
+// topology.
+func (n *Network) ShortestPaths(src, dst PortKey, maxPaths int) ([]Path, error) {
+	if !n.IsEdgePort(src) {
+		return nil, fmt.Errorf("topo: source %v is not an edge port", src)
+	}
+	if !n.IsEdgePort(dst) {
+		return nil, fmt.Errorf("topo: destination %v is not an edge port", dst)
+	}
+	if maxPaths < 1 {
+		maxPaths = 1
+	}
+	if src.Switch == dst.Switch {
+		if src.Port == dst.Port {
+			return nil, fmt.Errorf("topo: source and destination are the same port %v", src)
+		}
+		return []Path{{Hop{In: src.Port, Switch: src.Switch, Out: dst.Port}}}, nil
+	}
+
+	// BFS from the source switch recording distances.
+	dist := map[SwitchID]int{src.Switch: 0}
+	queue := []SwitchID{src.Switch}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, a := range n.adjacency(cur) {
+			next := a.peer.Switch
+			if _, seen := dist[next]; !seen {
+				dist[next] = dist[cur] + 1
+				queue = append(queue, next)
+			}
+		}
+	}
+	if _, ok := dist[dst.Switch]; !ok {
+		return nil, fmt.Errorf("topo: no path from %v to %v", src, dst)
+	}
+
+	// Enumerate shortest paths by walking only distance-increasing edges.
+	var out []Path
+	var walk func(cur SwitchID, inPort PortID, acc Path)
+	walk = func(cur SwitchID, inPort PortID, acc Path) {
+		if len(out) >= maxPaths {
+			return
+		}
+		if cur == dst.Switch {
+			full := make(Path, len(acc), len(acc)+1)
+			copy(full, acc)
+			full = append(full, Hop{In: inPort, Switch: cur, Out: dst.Port})
+			out = append(out, full)
+			return
+		}
+		for _, a := range n.adjacency(cur) {
+			if dist[a.peer.Switch] != dist[cur]+1 {
+				continue
+			}
+			hop := Hop{In: inPort, Switch: cur, Out: a.localPort}
+			walk(a.peer.Switch, a.peer.Port, append(acc, hop))
+		}
+	}
+	walk(src.Switch, src.Port, nil)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("topo: no path from %v to %v", src, dst)
+	}
+	return out, nil
+}
+
+// HostPath returns one shortest path between two named hosts.
+func (n *Network) HostPath(srcHost, dstHost string) (Path, error) {
+	hs, hd := n.Host(srcHost), n.Host(dstHost)
+	if hs == nil {
+		return nil, fmt.Errorf("topo: unknown host %q", srcHost)
+	}
+	if hd == nil {
+		return nil, fmt.Errorf("topo: unknown host %q", dstHost)
+	}
+	return n.ShortestPath(hs.Attach, hd.Attach)
+}
+
+// Neighbor describes one internal link from a switch's perspective.
+type Neighbor struct {
+	LocalPort PortID
+	Switch    SwitchID
+	Port      PortID
+}
+
+// Neighbors returns the switch's internal links sorted by local port.
+func (n *Network) Neighbors(sw SwitchID) []Neighbor {
+	adj := n.adjacency(sw)
+	out := make([]Neighbor, len(adj))
+	for i, a := range adj {
+		out[i] = Neighbor{LocalPort: a.localPort, Switch: a.peer.Switch, Port: a.peer.Port}
+	}
+	return out
+}
+
+// SwitchPath returns a shortest switch-level path from one switch to
+// another (inclusive of both), or ok=false if disconnected. Deterministic:
+// ties break toward lower port numbers.
+func (n *Network) SwitchPath(from, to SwitchID) ([]SwitchID, bool) {
+	if n.switches[from] == nil || n.switches[to] == nil {
+		return nil, false
+	}
+	if from == to {
+		return []SwitchID{from}, true
+	}
+	prev := map[SwitchID]SwitchID{from: from}
+	queue := []SwitchID{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, a := range n.adjacency(cur) {
+			next := a.peer.Switch
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = cur
+			if next == to {
+				var path []SwitchID
+				for s := to; s != from; s = prev[s] {
+					path = append(path, s)
+				}
+				path = append(path, from)
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path, true
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil, false
+}
+
+// NextHopPort returns the egress port at from on a shortest path toward to
+// (ok=false when disconnected or from==to). Route compilation uses this to
+// build per-destination forwarding trees.
+func (n *Network) NextHopPort(from, to SwitchID) (PortID, bool) {
+	path, ok := n.SwitchPath(from, to)
+	if !ok || len(path) < 2 {
+		return 0, false
+	}
+	return n.LinkPort(path[0], path[1])
+}
+
+// LinkPort returns the local port on switch a that connects directly to
+// switch b (the lowest-numbered one if parallel links exist).
+func (n *Network) LinkPort(a, b SwitchID) (PortID, bool) {
+	for _, adj := range n.adjacency(a) {
+		if adj.peer.Switch == b {
+			return adj.localPort, true
+		}
+	}
+	return 0, false
+}
+
+// Connected reports whether every switch can reach every other over internal
+// links — a sanity check the topology builders run on their outputs.
+func (n *Network) Connected() bool {
+	if len(n.switches) == 0 {
+		return true
+	}
+	var start SwitchID
+	for id := range n.switches {
+		start = id
+		break
+	}
+	seen := map[SwitchID]bool{start: true}
+	queue := []SwitchID{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, a := range n.adjacency(cur) {
+			if !seen[a.peer.Switch] {
+				seen[a.peer.Switch] = true
+				queue = append(queue, a.peer.Switch)
+			}
+		}
+	}
+	return len(seen) == len(n.switches)
+}

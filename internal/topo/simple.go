@@ -1,0 +1,100 @@
+// Small topologies: the paper's running examples (Figures 5 and 7) plus
+// linear and ring networks used by tests and the quickstart example.
+
+package topo
+
+import "fmt"
+
+// Figure5 builds the three-switch example network of Figure 5/Table 1:
+//
+//	S1: port 1 = H1 (10.0.1.1), port 2 = H2 (10.0.1.2), port 3 → S2, port 4 → S3
+//	S2: port 1 → S1, port 2 → S3, port 3 = middlebox
+//	S3: port 1 → S2, port 2 = H3 (10.0.2.1), port 3 → S1
+//
+// SSH traffic from H1 to H3 detours through the middlebox on S2; other
+// traffic takes the direct S1 → S3 link.
+func Figure5() *Network {
+	n := NewNetwork()
+	s1 := n.AddSwitch("S1", 4)
+	s2 := n.AddSwitch("S2", 3)
+	s3 := n.AddSwitch("S3", 3)
+	n.AddLink(s1.ID, 3, s2.ID, 1)
+	n.AddLink(s1.ID, 4, s3.ID, 3)
+	n.AddLink(s2.ID, 2, s3.ID, 1)
+	n.AddMiddlebox(s2.ID, 3)
+	n.AddHost("H1", 0x0a000101, s1.ID, 1) // 10.0.1.1
+	n.AddHost("H2", 0x0a000102, s1.ID, 2) // 10.0.1.2
+	n.AddHost("H3", 0x0a000201, s3.ID, 2) // 10.0.2.1
+	return n
+}
+
+// Figure7 builds the six-switch fault-localization example of Figure 7. The
+// controller's intended path is S1 → S2 → S4; the faulty S1 misforwards out
+// port 4, sending packets down S3 → S6 where they are dropped.
+//
+//	Src — S1.1        S4.3 — Dst
+//	S1.2—S2.1  S2.2—S4.1
+//	S1.4—S3.1  S2.3—S5.1  S3.3—S6.1  S5.3—S6.2  S4.4—S6.4  S3.2—S5.2
+func Figure7() *Network {
+	n := NewNetwork()
+	s := make([]*Switch, 7) // 1-based
+	for i := 1; i <= 6; i++ {
+		s[i] = n.AddSwitch(fmt.Sprintf("S%d", i), 4)
+	}
+	n.AddLink(s[1].ID, 2, s[2].ID, 1)
+	n.AddLink(s[2].ID, 2, s[4].ID, 1)
+	n.AddLink(s[1].ID, 4, s[3].ID, 1)
+	n.AddLink(s[2].ID, 3, s[5].ID, 1)
+	n.AddLink(s[3].ID, 3, s[6].ID, 1)
+	n.AddLink(s[5].ID, 3, s[6].ID, 2)
+	n.AddLink(s[4].ID, 4, s[6].ID, 4)
+	n.AddLink(s[3].ID, 2, s[5].ID, 2)
+	n.AddHost("Src", 0x0a010101, s[1].ID, 1) // 10.1.1.1
+	n.AddHost("Dst", 0x0a020202, s[4].ID, 3) // 10.2.2.2
+	return n
+}
+
+// Linear builds a chain of n switches (n ≥ 1), each serving hostsPerSwitch
+// hosts with IPs 10.(100+switch).h.1.
+func Linear(n, hostsPerSwitch int) *Network {
+	if n < 1 || hostsPerSwitch < 1 {
+		panic("topo: Linear needs at least one switch and one host per switch")
+	}
+	net := NewNetwork()
+	sw := make([]*Switch, n)
+	for i := 0; i < n; i++ {
+		sw[i] = net.AddSwitch(fmt.Sprintf("s%d", i+1), 2+hostsPerSwitch)
+	}
+	for i := 0; i+1 < n; i++ {
+		net.AddLink(sw[i].ID, 2, sw[i+1].ID, 1)
+	}
+	for i := 0; i < n; i++ {
+		for h := 0; h < hostsPerSwitch; h++ {
+			ip := uint32(10)<<24 | uint32(100+i)<<16 | uint32(h)<<8 | 1
+			net.AddHost(fmt.Sprintf("h%d-%d", i+1, h), ip, sw[i].ID, PortID(3+h))
+		}
+	}
+	return net
+}
+
+// Ring builds a cycle of n switches (n ≥ 3) with one host each — the
+// smallest topology on which forwarding loops are expressible, used by the
+// loop-detection tests (§6.2).
+func Ring(n int) *Network {
+	if n < 3 {
+		panic("topo: Ring needs at least three switches")
+	}
+	net := NewNetwork()
+	sw := make([]*Switch, n)
+	for i := 0; i < n; i++ {
+		sw[i] = net.AddSwitch(fmt.Sprintf("r%d", i+1), 3)
+	}
+	for i := 0; i < n; i++ {
+		net.AddLink(sw[i].ID, 2, sw[(i+1)%n].ID, 1)
+	}
+	for i := 0; i < n; i++ {
+		ip := uint32(10)<<24 | uint32(200)<<16 | uint32(i)<<8 | 1
+		net.AddHost(fmt.Sprintf("rh%d", i+1), ip, sw[i].ID, 3)
+	}
+	return net
+}

@@ -1,0 +1,327 @@
+// Package topo models the network: switches, ports, links, hosts, and
+// middleboxes, plus the hop/path vocabulary shared by the path table
+// (control plane) and the switch pipeline (data plane).
+//
+// Port roles follow §3.3: a port either connects to another switch
+// (internal), to an end host (a host/edge port, where packets enter and
+// leave the network and where VeriDP initializes and reports tags), or to a
+// middlebox. Middlebox ports reflect: a packet sent out of one re-enters on
+// the same port after the middlebox processes it (Figure 5's S2 ↔ MB), so
+// path-table traversal continues through them rather than terminating.
+package topo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// SwitchID identifies a switch. The paper's prototype packs 8 bits of switch
+// ID into the second VLAN tag; we allow 16 bits and let the wire format
+// enforce its own limits.
+type SwitchID uint16
+
+// PortID is a switch-local port number. Real ports are numbered from 1;
+// DropPort is the paper's ⊥ pseudo-port for dropped packets.
+type PortID uint16
+
+// DropPort is ⊥: the pseudo output port meaning "dropped". Both drop cases
+// of §3.3 (no matching entry; matching entry without an output action) map
+// to it.
+const DropPort PortID = 0xffff
+
+// IsDrop reports whether the port is the ⊥ drop pseudo-port.
+func (p PortID) IsDrop() bool { return p == DropPort }
+
+// String renders real port numbers decimally and the drop port as ⊥.
+func (p PortID) String() string {
+	if p.IsDrop() {
+		return "⊥"
+	}
+	return fmt.Sprintf("%d", p)
+}
+
+// PortKey names one port globally: ⟨switch, port⟩.
+type PortKey struct {
+	Switch SwitchID
+	Port   PortID
+}
+
+// String renders the port tuple as ⟨S,p⟩.
+func (k PortKey) String() string { return fmt.Sprintf("⟨S%d,%s⟩", k.Switch, k.Port) }
+
+// Hop is the paper's 3-tuple ⟨input_port, switch_ID, output_port⟩: the
+// forwarding behavior of one switch on one packet.
+type Hop struct {
+	In     PortID
+	Switch SwitchID
+	Out    PortID
+}
+
+// String renders the hop as ⟨in,S,out⟩.
+func (h Hop) String() string {
+	return fmt.Sprintf("⟨%s,S%d,%s⟩", h.In, h.Switch, h.Out)
+}
+
+// Bytes serializes the hop as the Bloom-filter element x‖s‖y (Algorithm 1).
+// The encoding is fixed at six big-endian bytes so taggers and the
+// verification server hash identical inputs.
+func (h Hop) Bytes() []byte {
+	var b [6]byte
+	binary.BigEndian.PutUint16(b[0:], uint16(h.In))
+	binary.BigEndian.PutUint16(b[2:], uint16(h.Switch))
+	binary.BigEndian.PutUint16(b[4:], uint16(h.Out))
+	return b[:]
+}
+
+// Path is an ordered list of hops.
+type Path []Hop
+
+// String renders the path hop by hop.
+func (p Path) String() string {
+	s := ""
+	for i, h := range p {
+		if i > 0 {
+			s += " "
+		}
+		s += h.String()
+	}
+	return s
+}
+
+// Switches returns the switch IDs along the path, in order.
+func (p Path) Switches() []SwitchID {
+	ids := make([]SwitchID, len(p))
+	for i, h := range p {
+		ids[i] = h.Switch
+	}
+	return ids
+}
+
+// PortRole classifies what a port connects to.
+type PortRole uint8
+
+const (
+	// RoleUnused is a port with nothing attached; packets sent to it leave
+	// the network unobserved, so topology builders avoid routing to them.
+	RoleUnused PortRole = iota
+	// RoleInternal connects to another switch.
+	RoleInternal
+	// RoleHost connects to an end host: an edge port in the paper's sense.
+	RoleHost
+	// RoleMiddlebox connects to a middlebox that reflects traffic back.
+	RoleMiddlebox
+)
+
+// Switch is one forwarding element with ports numbered 1..NumPorts.
+type Switch struct {
+	ID       SwitchID
+	Name     string
+	NumPorts int
+	roles    []PortRole // index 0 unused; ports are 1-based
+}
+
+// Role returns the role of a port (RoleUnused for out-of-range ports).
+func (s *Switch) Role(p PortID) PortRole {
+	if p == DropPort || int(p) < 1 || int(p) > s.NumPorts {
+		return RoleUnused
+	}
+	return s.roles[p]
+}
+
+// Ports returns all real port IDs of the switch, 1..NumPorts.
+func (s *Switch) Ports() []PortID {
+	out := make([]PortID, s.NumPorts)
+	for i := range out {
+		out[i] = PortID(i + 1)
+	}
+	return out
+}
+
+// Host is an end host attached to an edge port.
+type Host struct {
+	Name   string
+	IP     uint32
+	Attach PortKey
+}
+
+// Network is the topology graph. It is immutable once handed to the
+// controller and data plane; builders populate it single-threaded.
+type Network struct {
+	switches map[SwitchID]*Switch
+	byName   map[string]SwitchID
+	links    map[PortKey]PortKey
+	hosts    map[string]*Host
+	hostByIP map[uint32]*Host
+	nextID   SwitchID
+}
+
+// NewNetwork returns an empty topology.
+func NewNetwork() *Network {
+	return &Network{
+		switches: make(map[SwitchID]*Switch),
+		byName:   make(map[string]SwitchID),
+		links:    make(map[PortKey]PortKey),
+		hosts:    make(map[string]*Host),
+		hostByIP: make(map[uint32]*Host),
+		nextID:   1,
+	}
+}
+
+// AddSwitch creates a switch with the given name and port count and returns
+// it. Names must be unique.
+func (n *Network) AddSwitch(name string, numPorts int) *Switch {
+	if _, dup := n.byName[name]; dup {
+		panic(fmt.Sprintf("topo: duplicate switch name %q", name))
+	}
+	if numPorts < 1 {
+		panic(fmt.Sprintf("topo: switch %q needs at least one port", name))
+	}
+	s := &Switch{
+		ID:       n.nextID,
+		Name:     name,
+		NumPorts: numPorts,
+		roles:    make([]PortRole, numPorts+1),
+	}
+	n.nextID++
+	n.switches[s.ID] = s
+	n.byName[name] = s.ID
+	return s
+}
+
+// Switch returns the switch with the given ID, or nil.
+func (n *Network) Switch(id SwitchID) *Switch { return n.switches[id] }
+
+// SwitchByName returns the switch with the given name, or nil.
+func (n *Network) SwitchByName(name string) *Switch {
+	id, ok := n.byName[name]
+	if !ok {
+		return nil
+	}
+	return n.switches[id]
+}
+
+// Switches returns all switches sorted by ID.
+func (n *Network) Switches() []*Switch {
+	out := make([]*Switch, 0, len(n.switches))
+	for _, s := range n.switches {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NumSwitches returns the switch count.
+func (n *Network) NumSwitches() int { return len(n.switches) }
+
+// validatePort panics unless ⟨sw,p⟩ names a real, currently unused port.
+func (n *Network) validatePort(sw SwitchID, p PortID, use string) *Switch {
+	s := n.switches[sw]
+	if s == nil {
+		panic(fmt.Sprintf("topo: unknown switch %d", sw))
+	}
+	if p == DropPort || int(p) < 1 || int(p) > s.NumPorts {
+		panic(fmt.Sprintf("topo: switch %s has no port %s", s.Name, p))
+	}
+	if s.roles[p] != RoleUnused {
+		panic(fmt.Sprintf("topo: port %s:%s already in use (adding %s)", s.Name, p, use))
+	}
+	return s
+}
+
+// AddLink connects two switch ports bidirectionally.
+func (n *Network) AddLink(a SwitchID, ap PortID, b SwitchID, bp PortID) {
+	sa := n.validatePort(a, ap, "link")
+	sb := n.validatePort(b, bp, "link")
+	sa.roles[ap] = RoleInternal
+	sb.roles[bp] = RoleInternal
+	n.links[PortKey{a, ap}] = PortKey{b, bp}
+	n.links[PortKey{b, bp}] = PortKey{a, ap}
+}
+
+// AddHost attaches a named host with the given IP to an edge port.
+func (n *Network) AddHost(name string, ip uint32, sw SwitchID, p PortID) *Host {
+	if _, dup := n.hosts[name]; dup {
+		panic(fmt.Sprintf("topo: duplicate host name %q", name))
+	}
+	if _, dup := n.hostByIP[ip]; dup {
+		panic(fmt.Sprintf("topo: duplicate host IP for %q", name))
+	}
+	s := n.validatePort(sw, p, "host")
+	s.roles[p] = RoleHost
+	h := &Host{Name: name, IP: ip, Attach: PortKey{sw, p}}
+	n.hosts[name] = h
+	n.hostByIP[ip] = h
+	return h
+}
+
+// AddMiddlebox marks a port as middlebox-attached: traversal reflects off it.
+func (n *Network) AddMiddlebox(sw SwitchID, p PortID) {
+	s := n.validatePort(sw, p, "middlebox")
+	s.roles[p] = RoleMiddlebox
+}
+
+// Host returns the named host, or nil.
+func (n *Network) Host(name string) *Host { return n.hosts[name] }
+
+// HostByIP returns the host owning the IP, or nil.
+func (n *Network) HostByIP(ip uint32) *Host { return n.hostByIP[ip] }
+
+// Hosts returns all hosts sorted by name.
+func (n *Network) Hosts() []*Host {
+	out := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Peer implements Algorithm 2's Link(⟨s,y⟩): where does a packet sent out of
+// this port arrive next? For internal links it is the far end; for middlebox
+// ports the packet reflects back into the same port; for host and unused
+// ports the packet leaves the network (ok=false).
+func (n *Network) Peer(pk PortKey) (PortKey, bool) {
+	s := n.switches[pk.Switch]
+	if s == nil {
+		return PortKey{}, false
+	}
+	switch s.Role(pk.Port) {
+	case RoleInternal:
+		peer, ok := n.links[pk]
+		return peer, ok
+	case RoleMiddlebox:
+		return pk, true
+	default:
+		return PortKey{}, false
+	}
+}
+
+// IsEdgePort reports whether packets enter/leave the network at this port —
+// the "⟨s,x⟩ is an edge port" test of Algorithms 1 and 2. Only host ports
+// qualify; middlebox ports keep the traversal alive (Figure 5).
+func (n *Network) IsEdgePort(pk PortKey) bool {
+	s := n.switches[pk.Switch]
+	return s != nil && s.Role(pk.Port) == RoleHost
+}
+
+// EdgePorts returns every host-facing port, sorted for determinism.
+func (n *Network) EdgePorts() []PortKey {
+	var out []PortKey
+	for _, s := range n.Switches() {
+		for _, p := range s.Ports() {
+			if s.Role(p) == RoleHost {
+				out = append(out, PortKey{s.ID, p})
+			}
+		}
+	}
+	return out
+}
+
+// NumLinks returns the number of bidirectional switch-to-switch links.
+func (n *Network) NumLinks() int { return len(n.links) / 2 }
+
+// MaxPathLength returns the TTL budget Algorithm 1 initializes: generously,
+// twice the switch count plus a margin, so legitimate middlebox detours
+// never hit zero while genuine loops still terminate.
+func (n *Network) MaxPathLength() int { return 2*len(n.switches) + 4 }

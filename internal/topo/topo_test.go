@@ -1,0 +1,448 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSwitchAndLookup(t *testing.T) {
+	n := NewNetwork()
+	s := n.AddSwitch("sw1", 4)
+	if s.ID == 0 {
+		t.Fatal("switch ID should be nonzero")
+	}
+	if n.Switch(s.ID) != s || n.SwitchByName("sw1") != s {
+		t.Fatal("lookup by ID/name failed")
+	}
+	if n.SwitchByName("nope") != nil {
+		t.Fatal("unknown name returned a switch")
+	}
+	if got := len(s.Ports()); got != 4 {
+		t.Fatalf("Ports() length = %d, want 4", got)
+	}
+}
+
+func TestDuplicateSwitchNamePanics(t *testing.T) {
+	n := NewNetwork()
+	n.AddSwitch("dup", 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate switch name accepted")
+		}
+	}()
+	n.AddSwitch("dup", 2)
+}
+
+func TestLinkAndPeer(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddSwitch("a", 2)
+	b := n.AddSwitch("b", 2)
+	n.AddLink(a.ID, 1, b.ID, 2)
+	peer, ok := n.Peer(PortKey{a.ID, 1})
+	if !ok || peer != (PortKey{b.ID, 2}) {
+		t.Fatalf("Peer(a:1) = %v, %v", peer, ok)
+	}
+	peer, ok = n.Peer(PortKey{b.ID, 2})
+	if !ok || peer != (PortKey{a.ID, 1}) {
+		t.Fatalf("Peer(b:2) = %v, %v", peer, ok)
+	}
+	if _, ok := n.Peer(PortKey{a.ID, 2}); ok {
+		t.Fatal("unconnected port has a peer")
+	}
+	if n.NumLinks() != 1 {
+		t.Fatalf("NumLinks = %d, want 1", n.NumLinks())
+	}
+}
+
+func TestPortReusePanics(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddSwitch("a", 2)
+	b := n.AddSwitch("b", 2)
+	c := n.AddSwitch("c", 2)
+	n.AddLink(a.ID, 1, b.ID, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("port reuse accepted")
+		}
+	}()
+	n.AddLink(a.ID, 1, c.ID, 1)
+}
+
+func TestHosts(t *testing.T) {
+	n := NewNetwork()
+	s := n.AddSwitch("s", 3)
+	h := n.AddHost("h1", 0x0a000001, s.ID, 1)
+	if n.Host("h1") != h || n.HostByIP(0x0a000001) != h {
+		t.Fatal("host lookup failed")
+	}
+	if !n.IsEdgePort(h.Attach) {
+		t.Fatal("host attach port should be an edge port")
+	}
+	if n.IsEdgePort(PortKey{s.ID, 2}) {
+		t.Fatal("unused port counted as edge port")
+	}
+	if got := len(n.EdgePorts()); got != 1 {
+		t.Fatalf("EdgePorts length = %d, want 1", got)
+	}
+}
+
+func TestMiddleboxReflects(t *testing.T) {
+	n := NewNetwork()
+	s := n.AddSwitch("s", 3)
+	n.AddMiddlebox(s.ID, 2)
+	peer, ok := n.Peer(PortKey{s.ID, 2})
+	if !ok || peer != (PortKey{s.ID, 2}) {
+		t.Fatalf("middlebox port should reflect, got %v, %v", peer, ok)
+	}
+	if n.IsEdgePort(PortKey{s.ID, 2}) {
+		t.Fatal("middlebox port must not be an edge port (Figure 5 traversal continues)")
+	}
+}
+
+func TestDropPort(t *testing.T) {
+	if !DropPort.IsDrop() || PortID(1).IsDrop() {
+		t.Fatal("IsDrop broken")
+	}
+	if DropPort.String() != "⊥" {
+		t.Fatalf("DropPort.String() = %q", DropPort.String())
+	}
+}
+
+func TestHopBytesUnique(t *testing.T) {
+	// Distinct hops must serialize distinctly — tags hash these bytes.
+	seen := map[string]Hop{}
+	for in := PortID(1); in <= 4; in++ {
+		for sw := SwitchID(1); sw <= 4; sw++ {
+			for _, out := range []PortID{1, 2, 3, 4, DropPort} {
+				h := Hop{in, sw, out}
+				k := string(h.Bytes())
+				if prev, dup := seen[k]; dup {
+					t.Fatalf("hops %v and %v serialize identically", prev, h)
+				}
+				seen[k] = h
+			}
+		}
+	}
+}
+
+func TestPathString(t *testing.T) {
+	p := Path{{1, 2, 3}, {1, 4, DropPort}}
+	if got := p.String(); got != "⟨1,S2,3⟩ ⟨1,S4,⊥⟩" {
+		t.Fatalf("Path.String() = %q", got)
+	}
+	if got := p.Switches(); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("Switches() = %v", got)
+	}
+}
+
+func TestShortestPathLinear(t *testing.T) {
+	n := Linear(4, 1)
+	src := n.Host("h1-0").Attach
+	dst := n.Host("h4-0").Attach
+	p, err := n.ShortestPath(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 4 {
+		t.Fatalf("path length %d, want 4 switches", len(p))
+	}
+	if p[0].In != src.Port || p[0].Switch != src.Switch {
+		t.Fatalf("path does not start at source: %v", p)
+	}
+	last := p[len(p)-1]
+	if last.Switch != dst.Switch || last.Out != dst.Port {
+		t.Fatalf("path does not end at destination: %v", p)
+	}
+	// Consecutive hops must be linked.
+	for i := 0; i+1 < len(p); i++ {
+		peer, ok := n.Peer(PortKey{p[i].Switch, p[i].Out})
+		if !ok || peer.Switch != p[i+1].Switch || peer.Port != p[i+1].In {
+			t.Fatalf("hops %d and %d not linked: %v", i, i+1, p)
+		}
+	}
+}
+
+func TestShortestPathSameSwitch(t *testing.T) {
+	n := Linear(2, 2)
+	src := n.Host("h1-0").Attach
+	dst := n.Host("h1-1").Attach
+	p, err := n.ShortestPath(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 || p[0].In != src.Port || p[0].Out != dst.Port {
+		t.Fatalf("same-switch path = %v", p)
+	}
+	if _, err := n.ShortestPath(src, src); err == nil {
+		t.Fatal("path from a port to itself should error")
+	}
+}
+
+func TestShortestPathErrors(t *testing.T) {
+	n := Linear(2, 1)
+	src := n.Host("h1-0").Attach
+	if _, err := n.ShortestPath(PortKey{99, 1}, src); err == nil {
+		t.Fatal("bogus source accepted")
+	}
+	if _, err := n.ShortestPath(src, PortKey{1, 2}); err == nil {
+		t.Fatal("non-edge destination accepted")
+	}
+	// Disconnected networks.
+	m := NewNetwork()
+	a := m.AddSwitch("a", 2)
+	b := m.AddSwitch("b", 2)
+	m.AddHost("ha", 1, a.ID, 1)
+	m.AddHost("hb", 2, b.ID, 1)
+	if _, err := m.ShortestPath(m.Host("ha").Attach, m.Host("hb").Attach); err == nil {
+		t.Fatal("path across disconnected components accepted")
+	}
+	if m.Connected() {
+		t.Fatal("disconnected network reported connected")
+	}
+}
+
+func TestECMPFatTree(t *testing.T) {
+	n := FatTree(4)
+	// Hosts in different pods have (k/2)² = 4 equal-cost paths.
+	src := n.Host("h-0-0-0").Attach
+	dst := n.Host("h-3-1-1").Attach
+	paths, err := n.ShortestPaths(src, dst, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("inter-pod ECMP path count = %d, want 4", len(paths))
+	}
+	for _, p := range paths {
+		if len(p) != 5 {
+			t.Fatalf("inter-pod path length %d, want 5: %v", len(p), p)
+		}
+	}
+	// maxPaths truncates.
+	paths, err = n.ShortestPaths(src, dst, 2)
+	if err != nil || len(paths) != 2 {
+		t.Fatalf("maxPaths=2 returned %d paths, err %v", len(paths), err)
+	}
+}
+
+func TestFatTreeShape(t *testing.T) {
+	for _, k := range []int{4, 6} {
+		n := FatTree(k)
+		wantSwitches := k*k + (k/2)*(k/2) // k pods × k switches/pod + (k/2)² cores
+		if got := n.NumSwitches(); got != wantSwitches {
+			t.Errorf("FatTree(%d) switches = %d, want %d", k, got, wantSwitches)
+		}
+		wantHosts := k * k * k / 4
+		if got := len(n.Hosts()); got != wantHosts {
+			t.Errorf("FatTree(%d) hosts = %d, want %d", k, got, wantHosts)
+		}
+		if !n.Connected() {
+			t.Errorf("FatTree(%d) not connected", k)
+		}
+	}
+}
+
+func TestFatTreePanicsOnOddK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd k accepted")
+		}
+	}()
+	FatTree(3)
+}
+
+func TestStanfordShape(t *testing.T) {
+	n := Stanford(2)
+	if got := n.NumSwitches(); got != 26 { // 2 backbone + 10 L2 + 14 zone
+		t.Fatalf("Stanford switches = %d, want 26", got)
+	}
+	if got := len(n.Hosts()); got != 28 {
+		t.Fatalf("Stanford hosts = %d, want 28", got)
+	}
+	if !n.Connected() {
+		t.Fatal("Stanford not connected")
+	}
+	// Paper path shape: zone → L2 → backbone → L2 → zone = 5 switches.
+	p, err := n.HostPath("host-boza-0", "host-yozb-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) < 3 || len(p) > 6 {
+		t.Fatalf("cross-zone path length %d out of expected range: %v", len(p), p)
+	}
+	for _, name := range []string{"boza", "bbra", "bbrb", "sozb", "cozb", "yoza", "yozb"} {
+		if n.SwitchByName(name) == nil {
+			t.Errorf("switch %s missing (function test of §6.2 needs it)", name)
+		}
+	}
+}
+
+func TestInternet2Shape(t *testing.T) {
+	n := Internet2(1)
+	if got := n.NumSwitches(); got != 9 {
+		t.Fatalf("Internet2 switches = %d, want 9", got)
+	}
+	if got := n.NumLinks(); got != len(internet2Links) {
+		t.Fatalf("Internet2 links = %d, want %d", got, len(internet2Links))
+	}
+	if !n.Connected() {
+		t.Fatal("Internet2 not connected")
+	}
+	// Coast-to-coast path exists.
+	if _, err := n.HostPath("host-seat-0", "host-wash-0"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	n := Figure5()
+	if n.NumSwitches() != 3 || len(n.Hosts()) != 3 {
+		t.Fatal("Figure5 shape wrong")
+	}
+	// The middlebox reflects on S2 port 3.
+	s2 := n.SwitchByName("S2")
+	peer, ok := n.Peer(PortKey{s2.ID, 3})
+	if !ok || peer != (PortKey{s2.ID, 3}) {
+		t.Fatal("S2 port 3 should reflect off the middlebox")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	n := Figure7()
+	if n.NumSwitches() != 6 || len(n.Hosts()) != 2 {
+		t.Fatal("Figure7 shape wrong")
+	}
+	p, err := n.HostPath("Src", "Dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The intended path S1 → S2 → S4 is the unique shortest.
+	want := []SwitchID{n.SwitchByName("S1").ID, n.SwitchByName("S2").ID, n.SwitchByName("S4").ID}
+	got := p.Switches()
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("Figure7 shortest path = %v, want S1 S2 S4", p)
+	}
+}
+
+func TestRingAndLoopPotential(t *testing.T) {
+	n := Ring(4)
+	if !n.Connected() {
+		t.Fatal("ring not connected")
+	}
+	if n.MaxPathLength() <= 4 {
+		t.Fatal("TTL budget too small for the ring")
+	}
+}
+
+func TestSwitchPathAndNextHop(t *testing.T) {
+	n := Linear(4, 1)
+	s1 := n.SwitchByName("s1").ID
+	s4 := n.SwitchByName("s4").ID
+	path, ok := n.SwitchPath(s1, s4)
+	if !ok || len(path) != 4 || path[0] != s1 || path[3] != s4 {
+		t.Fatalf("SwitchPath = %v, %v", path, ok)
+	}
+	if p, ok := n.SwitchPath(s1, s1); !ok || len(p) != 1 {
+		t.Fatalf("self path = %v, %v", p, ok)
+	}
+	if _, ok := n.SwitchPath(99, s1); ok {
+		t.Fatal("unknown switch accepted")
+	}
+	port, ok := n.NextHopPort(s1, s4)
+	if !ok || port != 2 {
+		t.Fatalf("NextHopPort = %v, %v", port, ok)
+	}
+	if _, ok := n.NextHopPort(s1, s1); ok {
+		t.Fatal("next hop to self accepted")
+	}
+	lp, ok := n.LinkPort(s1, n.SwitchByName("s2").ID)
+	if !ok || lp != 2 {
+		t.Fatalf("LinkPort = %v, %v", lp, ok)
+	}
+	if _, ok := n.LinkPort(s1, s4); ok {
+		t.Fatal("non-adjacent LinkPort accepted")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	n := Linear(3, 1)
+	s2 := n.SwitchByName("s2").ID
+	nb := n.Neighbors(s2)
+	if len(nb) != 2 {
+		t.Fatalf("neighbors %v", nb)
+	}
+	if nb[0].LocalPort >= nb[1].LocalPort {
+		t.Fatal("neighbors not sorted by local port")
+	}
+	for _, x := range nb {
+		peer, ok := n.Peer(PortKey{s2, x.LocalPort})
+		if !ok || peer.Switch != x.Switch || peer.Port != x.Port {
+			t.Fatalf("neighbor %v disagrees with Peer", x)
+		}
+	}
+}
+
+// Property: Peer is an involution on internal links.
+func TestQuickPeerInvolution(t *testing.T) {
+	n := FatTree(4)
+	prop := func(swRaw uint16, portRaw uint8) bool {
+		sw := SwitchID(swRaw%uint16(n.NumSwitches())) + 1
+		s := n.Switch(sw)
+		p := PortID(int(portRaw)%s.NumPorts) + 1
+		pk := PortKey{sw, p}
+		peer, ok := n.Peer(pk)
+		if !ok {
+			return true
+		}
+		if peer == pk { // middlebox reflection
+			return true
+		}
+		back, ok2 := n.Peer(peer)
+		return ok2 && back == pk
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every shortest path returned is well-formed (linked hops,
+// correct endpoints, no repeated switch).
+func TestQuickShortestPathWellFormed(t *testing.T) {
+	n := FatTree(4)
+	hosts := n.Hosts()
+	prop := func(i, j uint8) bool {
+		a := hosts[int(i)%len(hosts)]
+		b := hosts[int(j)%len(hosts)]
+		if a == b {
+			return true
+		}
+		p, err := n.ShortestPath(a.Attach, b.Attach)
+		if err != nil {
+			return false
+		}
+		if p[0].Switch != a.Attach.Switch || p[0].In != a.Attach.Port {
+			return false
+		}
+		last := p[len(p)-1]
+		if last.Switch != b.Attach.Switch || last.Out != b.Attach.Port {
+			return false
+		}
+		seen := map[SwitchID]bool{}
+		for _, h := range p {
+			if seen[h.Switch] {
+				return false
+			}
+			seen[h.Switch] = true
+		}
+		for k := 0; k+1 < len(p); k++ {
+			peer, ok := n.Peer(PortKey{p[k].Switch, p[k].Out})
+			if !ok || peer.Switch != p[k+1].Switch || peer.Port != p[k+1].In {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package traffic synthesizes workloads for the evaluation: one witness
+// packet per path-table entry (the §6.3/§6.4 methodology — "we randomly
+// select paths in the path table, and generate a packet for each path"), an
+// all-pairs ping mesh (the §6.3 localization workload), and random flows
+// with configurable arrival processes for the sampling experiments.
+package traffic
+
+import (
+	"math/rand"
+
+	"veridp/internal/core"
+	"veridp/internal/header"
+	"veridp/internal/topo"
+)
+
+// Witness pairs one concrete packet with the path-table entry it was drawn
+// from.
+type Witness struct {
+	Inport topo.PortKey
+	Header header.Header
+	Entry  *core.PathEntry
+}
+
+// Witnesses extracts one concrete header per live path entry whose entry
+// port is a real edge port (⊥-terminated and void-terminated paths are
+// still included: their packets exercise drop reporting). Paths whose
+// header sets are empty are skipped.
+func Witnesses(pt *core.PathTable) []Witness {
+	var out []Witness
+	pt.Entries(func(in, _ topo.PortKey, e *core.PathEntry) {
+		if !pt.Net.IsEdgePort(in) {
+			return
+		}
+		h, ok := pt.Space.Witness(e.Headers)
+		if !ok {
+			return
+		}
+		out = append(out, Witness{Inport: in, Header: h, Entry: e})
+	})
+	return out
+}
+
+// PingPair is one source-destination probe of a ping mesh.
+type PingPair struct {
+	SrcHost, DstHost string
+	Header           header.Header
+}
+
+// PingMesh generates the all-pairs workload of §6.3's localization
+// experiment ("we let all hosts ping each other"). Probes use ICMP.
+func PingMesh(n *topo.Network) []PingPair {
+	hosts := n.Hosts()
+	out := make([]PingPair, 0, len(hosts)*(len(hosts)-1))
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			out = append(out, PingPair{
+				SrcHost: src.Name,
+				DstHost: dst.Name,
+				Header: header.Header{
+					SrcIP: src.IP,
+					DstIP: dst.IP,
+					Proto: header.ProtoICMP,
+				},
+			})
+		}
+	}
+	return out
+}
+
+// RandomFlows draws k random host-to-host TCP flows with distinct ephemeral
+// source ports, for sampling and throughput experiments.
+func RandomFlows(n *topo.Network, k int, rng *rand.Rand) []header.Header {
+	hosts := n.Hosts()
+	if len(hosts) < 2 {
+		return nil
+	}
+	out := make([]header.Header, 0, k)
+	for i := 0; i < k; i++ {
+		si := rng.Intn(len(hosts))
+		di := rng.Intn(len(hosts) - 1)
+		if di >= si {
+			di++
+		}
+		out = append(out, header.Header{
+			SrcIP:   hosts[si].IP,
+			DstIP:   hosts[di].IP,
+			Proto:   header.ProtoTCP,
+			SrcPort: uint16(32768 + rng.Intn(28000)),
+			DstPort: uint16(1 + rng.Intn(1024)),
+		})
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package veridp
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	em, ids := buildFigure5(t)
+	mon := em.NewMonitor(MonitorConfig{})
+
+	// One healthy flow, then a faulted one.
+	h := Header{SrcIP: MustParseIP("10.0.1.1"), DstIP: MustParseIP("10.0.2.1"), Proto: 6, DstPort: 22}
+	if _, err := em.Fabric.InjectFromHost("H1", h); err != nil {
+		t.Fatal(err)
+	}
+	s1 := em.Net.SwitchByName("S1").ID
+	if err := em.Fabric.Switch(s1).Config.Table.Modify(ids["ssh"], func(r *Rule) { r.OutPort = 4 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := em.Fabric.InjectFromHost("H1", h); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(mon)
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		"veridp_reports_verified_total 1",
+		"veridp_reports_violated_total 1",
+		`veridp_violations_total{reason="tag-mismatch"} 1`,
+		`veridp_blamed_total{switch="S1"} 1`,
+		"veridp_path_table_pairs",
+		"veridp_path_table_paths",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+}

@@ -1,0 +1,397 @@
+// Package veridp is the public API of this VeriDP reproduction — a tool
+// that continuously monitors control-data plane consistency in software
+// defined networks (Zhang et al., "Mind the Gap", CoNEXT 2016).
+//
+// The control plane is abstracted as a path table: for every pair of edge
+// ports, the set of paths a packet may legitimately take, each path paired
+// with the BDD of headers it admits and a Bloom-filter tag folding its
+// hops. The data plane samples real packets at entry switches, updates
+// their tags hop by hop, and reports ⟨inport, outport, header, tag⟩ when a
+// packet exits (or is dropped, or its TTL expires). The Monitor verifies
+// each report against the path table and, on a mismatch, localizes the
+// faulty switch by Bloom-guided path inference.
+//
+// Quick start (an emulated network; see examples/ for complete programs):
+//
+//	net := veridp.Figure5()
+//	em := veridp.NewEmulation(net, veridp.DefaultTagParams)
+//	// ... install rules via em.Controller ...
+//	mon := em.NewMonitor(veridp.MonitorConfig{
+//	    OnViolation: func(v veridp.Violation) { fmt.Println("fault:", v) },
+//	})
+//	em.Fabric.InjectFromHost("H1", hdr) // reports flow to mon automatically
+//
+// The heavy lifting lives in internal packages: internal/bdd (header
+// sets), internal/bloom (tags), internal/core (path table, verification,
+// localization, incremental update), internal/dataplane (switch emulator),
+// internal/openflow (southbound channel + interception proxy),
+// internal/report (UDP report transport). This facade re-exports the
+// vocabulary types so applications only import veridp.
+package veridp
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"veridp/internal/bloom"
+	"veridp/internal/controller"
+	"veridp/internal/core"
+	"veridp/internal/dataplane"
+	"veridp/internal/flowtable"
+	"veridp/internal/header"
+	"veridp/internal/openflow"
+	"veridp/internal/packet"
+	"veridp/internal/policy"
+	"veridp/internal/topo"
+)
+
+// Topology vocabulary.
+type (
+	// Network is the topology graph: switches, ports, links, hosts,
+	// middleboxes.
+	Network = topo.Network
+	// SwitchID identifies a switch.
+	SwitchID = topo.SwitchID
+	// PortID is a switch-local port number; DropPort is ⊥.
+	PortID = topo.PortID
+	// PortKey names one port globally.
+	PortKey = topo.PortKey
+	// Hop is ⟨input_port, switch, output_port⟩.
+	Hop = topo.Hop
+	// Path is a hop sequence.
+	Path = topo.Path
+)
+
+// DropPort is the ⊥ pseudo-port packets are dropped to.
+const DropPort = topo.DropPort
+
+// Topology builders.
+var (
+	// NewNetwork returns an empty topology to populate manually.
+	NewNetwork = topo.NewNetwork
+	// FatTree builds the k-ary fat tree of the paper's §6.1.
+	FatTree = topo.FatTree
+	// Stanford builds the Stanford-backbone-like topology.
+	Stanford = topo.Stanford
+	// Internet2 builds the nine-router Internet2-like backbone.
+	Internet2 = topo.Internet2
+	// Figure5 builds the paper's running example network.
+	Figure5 = topo.Figure5
+	// Figure7 builds the paper's fault-localization example.
+	Figure7 = topo.Figure7
+	// Linear builds a switch chain; Ring builds a cycle.
+	Linear = topo.Linear
+	Ring   = topo.Ring
+)
+
+// Packet and rule vocabulary.
+type (
+	// Header is the TCP/UDP 5-tuple VeriDP verifies over.
+	Header = header.Header
+	// Rule is one flow entry; Match its matching half; Prefix an IPv4
+	// prefix.
+	Rule   = flowtable.Rule
+	Match  = flowtable.Match
+	Prefix = flowtable.Prefix
+	// Rewrite pins header fields on forwarding (OpenFlow set-field; the
+	// future-work extension implemented here — see internal/header).
+	Rewrite = header.Rewrite
+	// Report is the ⟨inport, outport, header, tag⟩ tag report.
+	Report = packet.Report
+	// TagParams configures the Bloom-filter tag scheme.
+	TagParams = bloom.Params
+	// Tag is a Bloom-filter packet tag.
+	Tag = bloom.Tag
+)
+
+// Rule actions.
+const (
+	ActOutput = flowtable.ActOutput
+	ActDrop   = flowtable.ActDrop
+)
+
+// DefaultTagParams is the paper's prototype configuration: 16-bit tags
+// carried in a VLAN TCI.
+var DefaultTagParams = bloom.DefaultParams
+
+// ParseIP converts dotted-quad notation to the uint32 addresses Header
+// uses; MustParseIP panics on malformed input.
+var (
+	ParseIP     = header.ParseIP
+	MustParseIP = header.MustParseIP
+)
+
+// Intent layer (Figure 1's I→R stage): declarative policies that compile
+// to rules and statically check I = R against the path table, while the
+// Monitor guards R = F at runtime.
+type (
+	// Policy is one piece of operator intent; PolicySuite bundles them.
+	Policy      = policy.Policy
+	PolicySuite = policy.Suite
+	// Reachability, Isolation, and Waypoint are the built-in intent
+	// classes of the paper's §2.3.
+	Reachability   = policy.Reachability
+	Isolation      = policy.Isolation
+	WaypointIntent = policy.Waypoint
+)
+
+// Violation describes one failed verification, with localization output.
+type Violation struct {
+	Report *Report
+	// Reason is the Algorithm 3 failure class.
+	Reason string
+	// Localized reports whether path inference recovered candidate paths.
+	Localized bool
+	// FaultySwitch is the blamed switch when Localized.
+	FaultySwitch SwitchID
+	// Candidates are the tag-consistent paths the packet may have taken.
+	Candidates []Path
+}
+
+// MonitorConfig configures a Monitor.
+type MonitorConfig struct {
+	// Params selects the tag scheme; zero value means DefaultTagParams.
+	Params TagParams
+	// OnViolation, if set, fires for every failed verification.
+	OnViolation func(Violation)
+	// OnVerified, if set, fires for every passed verification.
+	OnVerified func(*Report)
+}
+
+// Monitor is the VeriDP verification server: a path table plus the
+// verdict plumbing. Safe for concurrent use.
+type Monitor struct {
+	cfg MonitorConfig
+
+	mu    sync.Mutex
+	table *core.PathTable
+	net   *Network
+
+	verified uint64
+	violated uint64
+	reasons  map[string]uint64
+	blames   map[SwitchID]uint64
+}
+
+// NewMonitor builds a monitor over the network and the control plane's
+// logical per-switch configurations (as maintained by Controller.Logical).
+func NewMonitor(net *Network, logical map[SwitchID]*flowtable.SwitchConfig, cfg MonitorConfig) *Monitor {
+	if cfg.Params == (TagParams{}) {
+		cfg.Params = DefaultTagParams
+	}
+	b := &core.Builder{
+		Net:     net,
+		Space:   header.NewSpace(),
+		Params:  cfg.Params,
+		Configs: logical,
+	}
+	return &Monitor{
+		cfg:     cfg,
+		table:   b.Build(),
+		net:     net,
+		reasons: make(map[string]uint64),
+		blames:  make(map[SwitchID]uint64),
+	}
+}
+
+// HandleReport verifies one tag report, dispatching the configured
+// callbacks. It implements the data plane's report-sink interface, so a
+// Monitor can be wired directly into an Emulation or a UDP collector.
+// Callbacks run with the monitor's lock released, so they may call back
+// into the Monitor (e.g. OnViolation invoking Repair for self-healing).
+func (m *Monitor) HandleReport(r *Report) {
+	m.mu.Lock()
+	v := m.table.Verify(r)
+	if v.OK {
+		m.verified++
+		cb := m.cfg.OnVerified
+		m.mu.Unlock()
+		if cb != nil {
+			cb(r)
+		}
+		return
+	}
+	m.violated++
+	m.reasons[v.Reason.String()]++
+	cb := m.cfg.OnViolation
+	var viol Violation
+	sw, candidates, ok := m.table.Localize(r)
+	if ok {
+		m.blames[sw]++
+	}
+	if cb != nil {
+		viol = Violation{
+			Report:       r,
+			Reason:       v.Reason.String(),
+			Localized:    ok,
+			FaultySwitch: sw,
+			Candidates:   candidates,
+		}
+	}
+	m.mu.Unlock()
+	if cb != nil {
+		cb(viol)
+	}
+}
+
+// Verify checks one report without firing callbacks, returning whether it
+// passed and the failure reason otherwise.
+func (m *Monitor) Verify(r *Report) (bool, string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.table.Verify(r)
+	return v.OK, v.Reason.String()
+}
+
+// Stats returns the running verified/violated counters.
+func (m *Monitor) Stats() (verified, violated uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.verified, m.violated
+}
+
+// PathTable exposes the underlying table for inspection (stats, entries).
+// Callers must not mutate it concurrently with HandleReport.
+func (m *Monitor) PathTable() *core.PathTable { return m.table }
+
+// WriteMetrics emits the monitor's counters in the Prometheus text
+// exposition format: verified/violated totals, violations by reason,
+// localizations by blamed switch, and path-table gauges.
+func (m *Monitor) WriteMetrics(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.table.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE veridp_reports_verified_total counter\n")
+	fmt.Fprintf(&b, "veridp_reports_verified_total %d\n", m.verified)
+	fmt.Fprintf(&b, "# TYPE veridp_reports_violated_total counter\n")
+	fmt.Fprintf(&b, "veridp_reports_violated_total %d\n", m.violated)
+	fmt.Fprintf(&b, "# TYPE veridp_violations_total counter\n")
+	reasons := make([]string, 0, len(m.reasons))
+	for r := range m.reasons {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(&b, "veridp_violations_total{reason=%q} %d\n", r, m.reasons[r])
+	}
+	fmt.Fprintf(&b, "# TYPE veridp_blamed_total counter\n")
+	ids := make([]SwitchID, 0, len(m.blames))
+	for id := range m.blames {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		name := fmt.Sprintf("S%d", id)
+		if sw := m.net.Switch(id); sw != nil {
+			name = sw.Name
+		}
+		fmt.Fprintf(&b, "veridp_blamed_total{switch=%q} %d\n", name, m.blames[id])
+	}
+	fmt.Fprintf(&b, "# TYPE veridp_path_table_pairs gauge\n")
+	fmt.Fprintf(&b, "veridp_path_table_pairs %d\n", st.Pairs)
+	fmt.Fprintf(&b, "# TYPE veridp_path_table_paths gauge\n")
+	fmt.Fprintf(&b, "veridp_path_table_paths %d\n", st.Paths)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ServeHTTP serves the metrics, making a Monitor mountable at /metrics.
+func (m *Monitor) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	m.WriteMetrics(w)
+}
+
+// RuleInstaller is the southbound surface Repair pushes FlowMods through;
+// dataplane.FabricInstaller and controller.Server both satisfy it.
+type RuleInstaller = core.RuleInstaller
+
+// Repair localizes the failure behind a report and re-asserts the logical
+// rule on the blamed switch through the installer — the paper's
+// future-work item (2), automatic flow-table repair. It returns the blamed
+// switch.
+func (m *Monitor) Repair(r *Report, inst RuleInstaller) (SwitchID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	plan, err := m.table.Repair(r, inst)
+	if err != nil {
+		return 0, err
+	}
+	return plan.Switch, nil
+}
+
+// ProxyHooks returns interception hooks that rebuild the path table when
+// FlowMods pass through the southbound proxy — the deployment of Figure 4,
+// where the VeriDP server sits on the OpenFlow channel. The rebuild
+// strategy is correct for arbitrary rules; deployments restricted to
+// destination-prefix rules can use the incremental §4.4 path via
+// core.PathTable.ApplyDelta instead.
+func (m *Monitor) ProxyHooks(logical map[SwitchID]*flowtable.SwitchConfig) openflow.ProxyHooks {
+	rebuild := func(sw SwitchID, f *openflow.FlowMod) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		cfg, ok := logical[sw]
+		if !ok {
+			return
+		}
+		switch f.Command {
+		case openflow.FlowAdd:
+			r := f.Rule
+			r.ID = f.RuleID
+			cfg.Table.Add(&r)
+		case openflow.FlowDelete:
+			cfg.Table.Delete(f.RuleID)
+		case openflow.FlowModify:
+			cfg.Table.Modify(f.RuleID, func(r *Rule) {
+				r.Priority = f.Rule.Priority
+				r.Match = f.Rule.Match
+				r.Action = f.Rule.Action
+				r.OutPort = f.Rule.OutPort
+			})
+		}
+		b := &core.Builder{Net: m.net, Space: header.NewSpace(), Params: m.cfg.Params, Configs: logical}
+		m.table = b.Build()
+	}
+	return openflow.ProxyHooks{OnFlowMod: rebuild}
+}
+
+// Emulation bundles an emulated data plane with a controller — the
+// Mininet-equivalent playground every example runs on.
+type Emulation struct {
+	Net        *Network
+	Fabric     *dataplane.Fabric
+	Controller *controller.Controller
+
+	monitor *Monitor
+}
+
+// NewEmulation builds switches for every topology node and a controller
+// wired to them through the in-process southbound path.
+func NewEmulation(net *Network, params TagParams) *Emulation {
+	em := &Emulation{Net: net}
+	em.Fabric = dataplane.NewFabric(net,
+		dataplane.WithParams(params),
+		dataplane.WithReportSink(dataplane.ReportFunc(func(r *Report) {
+			if em.monitor != nil {
+				em.monitor.HandleReport(r)
+			}
+		})),
+	)
+	em.Controller = controller.New(net, &dataplane.FabricInstaller{Fabric: em.Fabric})
+	return em
+}
+
+// NewMonitor builds a Monitor from the emulation's current logical rules
+// and attaches it so every future tag report is verified automatically.
+func (em *Emulation) NewMonitor(cfg MonitorConfig) *Monitor {
+	if cfg.Params == (TagParams{}) {
+		cfg.Params = em.Fabric.Params
+	}
+	m := NewMonitor(em.Net, em.Controller.Logical(), cfg)
+	em.monitor = m
+	return m
+}

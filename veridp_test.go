@@ -1,0 +1,210 @@
+package veridp
+
+import (
+	"testing"
+
+	"veridp/internal/dataplane"
+	"veridp/internal/flowtable"
+	"veridp/internal/openflow"
+)
+
+// newFlowAdd wraps a rule in the southbound FlowMod envelope.
+func newFlowAdd(sw SwitchID, id uint64, r *flowtable.Rule) *openflow.FlowMod {
+	return &openflow.FlowMod{Command: openflow.FlowAdd, Switch: sw, RuleID: id, Rule: *r}
+}
+
+// buildFigure5 wires the running example through the public API only.
+func buildFigure5(t *testing.T) (*Emulation, map[string]uint64) {
+	t.Helper()
+	net := Figure5()
+	em := NewEmulation(net, DefaultTagParams)
+	s1 := net.SwitchByName("S1").ID
+	s2 := net.SwitchByName("S2").ID
+	s3 := net.SwitchByName("S3").ID
+	ids := map[string]uint64{}
+	add := func(name string, sw SwitchID, r Rule) {
+		id, err := em.Controller.InstallRule(sw, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
+	}
+	add("h1", s1, Rule{Priority: 30, Match: Match{DstPrefix: Prefix{IP: MustParseIP("10.0.1.1"), Len: 32}}, Action: ActOutput, OutPort: 1})
+	add("h2", s1, Rule{Priority: 30, Match: Match{DstPrefix: Prefix{IP: MustParseIP("10.0.1.2"), Len: 32}}, Action: ActOutput, OutPort: 2})
+	add("ssh", s1, Rule{Priority: 20, Match: Match{DstPrefix: Prefix{IP: MustParseIP("10.0.2.0"), Len: 24}, HasDst: true, DstPort: 22}, Action: ActOutput, OutPort: 3})
+	add("web", s1, Rule{Priority: 10, Match: Match{DstPrefix: Prefix{IP: MustParseIP("10.0.2.0"), Len: 24}}, Action: ActOutput, OutPort: 4})
+	add("mb-in", s2, Rule{Priority: 10, Match: Match{InPort: 1}, Action: ActOutput, OutPort: 3})
+	add("mb-out", s2, Rule{Priority: 10, Match: Match{InPort: 3}, Action: ActOutput, OutPort: 2})
+	add("acl", s3, Rule{Priority: 30, Match: Match{SrcPrefix: Prefix{IP: MustParseIP("10.0.1.2"), Len: 32}}, Action: ActDrop})
+	add("h3", s3, Rule{Priority: 20, Match: Match{DstPrefix: Prefix{IP: MustParseIP("10.0.2.0"), Len: 24}}, Action: ActOutput, OutPort: 2})
+	add("back", s3, Rule{Priority: 10, Match: Match{DstPrefix: Prefix{IP: MustParseIP("10.0.1.0"), Len: 24}}, Action: ActOutput, OutPort: 3})
+	return em, ids
+}
+
+func TestMonitorVerifiesHealthyTraffic(t *testing.T) {
+	em, _ := buildFigure5(t)
+	var violations []Violation
+	mon := em.NewMonitor(MonitorConfig{
+		OnViolation: func(v Violation) { violations = append(violations, v) },
+	})
+	h := Header{SrcIP: MustParseIP("10.0.1.1"), DstIP: MustParseIP("10.0.2.1"), Proto: 6, DstPort: 22}
+	if _, err := em.Fabric.InjectFromHost("H1", h); err != nil {
+		t.Fatal(err)
+	}
+	verified, violated := mon.Stats()
+	if verified != 1 || violated != 0 {
+		t.Fatalf("stats %d/%d, want 1/0 (violations: %v)", verified, violated, violations)
+	}
+}
+
+func TestMonitorFlagsAndLocalizesFault(t *testing.T) {
+	em, ids := buildFigure5(t)
+	var got []Violation
+	mon := em.NewMonitor(MonitorConfig{
+		OnViolation: func(v Violation) { got = append(got, v) },
+	})
+	// Data-plane-only fault: the SSH redirect misforwards.
+	s1 := em.Net.SwitchByName("S1").ID
+	err := em.Fabric.Switch(s1).Config.Table.Modify(ids["ssh"], func(r *Rule) { r.OutPort = 4 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Header{SrcIP: MustParseIP("10.0.1.1"), DstIP: MustParseIP("10.0.2.1"), Proto: 6, DstPort: 22}
+	if _, err := em.Fabric.InjectFromHost("H1", h); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("violations %d, want 1", len(got))
+	}
+	v := got[0]
+	if !v.Localized || v.FaultySwitch != s1 {
+		t.Fatalf("localization: %+v", v)
+	}
+	if v.Reason == "" || len(v.Candidates) == 0 {
+		t.Fatalf("violation missing detail: %+v", v)
+	}
+	if _, violated := mon.Stats(); violated != 1 {
+		t.Fatal("stats not updated")
+	}
+}
+
+func TestMonitorVerifyWithoutCallbacks(t *testing.T) {
+	em, _ := buildFigure5(t)
+	mon := em.NewMonitor(MonitorConfig{})
+	h := Header{SrcIP: MustParseIP("10.0.1.1"), DstIP: MustParseIP("10.0.2.1"), Proto: 6, DstPort: 80}
+	res, err := em.Fabric.InjectFromHost("H1", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, reason := mon.Verify(res.Reports[0])
+	if !ok {
+		t.Fatalf("healthy report failed: %s", reason)
+	}
+}
+
+func TestMonitorPathTableStats(t *testing.T) {
+	em, _ := buildFigure5(t)
+	mon := em.NewMonitor(MonitorConfig{})
+	st := mon.PathTable().Stats()
+	if st.Pairs == 0 || st.Paths == 0 || st.AvgPathLength <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestMonitorRepairRestoresConsistency(t *testing.T) {
+	em, ids := buildFigure5(t)
+	var lastViolation *Violation
+	mon := em.NewMonitor(MonitorConfig{
+		OnViolation: func(v Violation) { lastViolation = &v },
+	})
+	s1 := em.Net.SwitchByName("S1").ID
+	if err := em.Fabric.Switch(s1).Config.Table.Modify(ids["ssh"], func(r *Rule) { r.OutPort = 4 }); err != nil {
+		t.Fatal(err)
+	}
+	h := Header{SrcIP: MustParseIP("10.0.1.1"), DstIP: MustParseIP("10.0.2.1"), Proto: 6, DstPort: 22}
+	if _, err := em.Fabric.InjectFromHost("H1", h); err != nil {
+		t.Fatal(err)
+	}
+	if lastViolation == nil {
+		t.Fatal("no violation observed")
+	}
+	blamed, err := mon.Repair(lastViolation.Report, &dataplane.FabricInstaller{Fabric: em.Fabric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blamed != s1 {
+		t.Fatalf("repaired switch %d, want %d", blamed, s1)
+	}
+	// The flow verifies again.
+	before, violatedBefore := mon.Stats()
+	if _, err := em.Fabric.InjectFromHost("H1", h); err != nil {
+		t.Fatal(err)
+	}
+	after, violatedAfter := mon.Stats()
+	if after != before+1 || violatedAfter != violatedBefore {
+		t.Fatalf("post-repair stats: verified %d→%d violated %d→%d", before, after, violatedBefore, violatedAfter)
+	}
+}
+
+func TestPolicySuiteThroughFacade(t *testing.T) {
+	net := Linear(3, 1)
+	em := NewEmulation(net, DefaultTagParams)
+	suite := PolicySuite{
+		Reachability{SrcHost: "h1-0", DstHost: "h3-0"},
+		Isolation{
+			SrcPrefix: Prefix{IP: net.Host("h2-0").IP, Len: 32},
+			DstPrefix: Prefix{IP: net.Host("h3-0").IP, Len: 32},
+		},
+	}
+	if err := suite.Compile(em.Controller); err != nil {
+		t.Fatal(err)
+	}
+	mon := em.NewMonitor(MonitorConfig{})
+	if errs := suite.Check(mon.PathTable()); len(errs) != 0 {
+		t.Fatalf("static check: %v", errs)
+	}
+	// The isolation holds operationally and verifies.
+	h := Header{SrcIP: net.Host("h2-0").IP, DstIP: net.Host("h3-0").IP, Proto: 6}
+	res, err := em.Fabric.InjectFromHost("h2-0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exit.Port != DropPort {
+		t.Fatalf("isolation not enforced: %v", res.Exit)
+	}
+	if _, violated := mon.Stats(); violated != 0 {
+		t.Fatal("intended drop flagged as a violation")
+	}
+}
+
+func TestProxyHooksRebuildOnFlowMod(t *testing.T) {
+	em, _ := buildFigure5(t)
+	mon := em.NewMonitor(MonitorConfig{})
+
+	// Clone the logical configs the hooks mutate (stand-in for the server
+	// process's own copy).
+	logical := em.Controller.Logical()
+	hooks := mon.ProxyHooks(logical)
+
+	// A new rule arrives through the proxy: S3 starts dropping SSH.
+	s3 := em.Net.SwitchByName("S3").ID
+	fm := &flowtable.Rule{
+		Priority: 40,
+		Match:    Match{HasDst: true, DstPort: 22},
+		Action:   ActDrop,
+	}
+	hooks.OnFlowMod(s3, newFlowAdd(s3, 999, fm))
+
+	// The table now expects SSH to drop at S3 — a delivered SSH packet
+	// must fail verification. (The data plane never got the rule: this is
+	// the inconsistency.)
+	h := Header{SrcIP: MustParseIP("10.0.1.1"), DstIP: MustParseIP("10.0.2.1"), Proto: 6, DstPort: 22}
+	res, err := em.Fabric.InjectFromHost("H1", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := mon.Verify(res.Reports[0])
+	if ok {
+		t.Fatal("path table did not track the FlowMod through the proxy hooks")
+	}
+}
