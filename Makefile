@@ -1,0 +1,30 @@
+# Development gate for the VeriDP reproduction. `make check` is what CI
+# runs: vet + formatting + the repo's own static analysis (veridp-lint)
+# + the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: build test vet fmt lint race check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+lint:
+	$(GO) run ./cmd/veridp-lint ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet fmt lint race

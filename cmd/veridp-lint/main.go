@@ -1,0 +1,76 @@
+// veridp-lint runs the repo's custom static-analysis passes (package
+// internal/lint) over the named package patterns. It is the lint half of
+// `make check`:
+//
+//	go run ./cmd/veridp-lint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Test files
+// are not linted — `go vet` and `go test -race` cover those.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"veridp/internal/lint"
+)
+
+func main() {
+	checks := flag.String("c", "", "comma-separated checker names to run (default: all)")
+	list := flag.Bool("list", false, "list available checkers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: veridp-lint [-c checkers] [-list] [packages]\n\nCheckers:\n")
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers
+	if *checks != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*checks, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "veridp-lint: unknown checker %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "veridp-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "veridp-lint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "veridp-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -24,12 +24,12 @@ type Server struct {
 	Timeout time.Duration
 
 	mu       sync.Mutex
-	conns    map[topo.SwitchID]*openflow.Conn
-	barriers map[barrierKey]chan struct{}
-	dumps    map[barrierKey]chan []*flowtable.Rule
+	conns    map[topo.SwitchID]*openflow.Conn      // guarded by mu
+	barriers map[barrierKey]chan struct{}          // guarded by mu
+	dumps    map[barrierKey]chan []*flowtable.Rule // guarded by mu
 	arrived  *sync.Cond
-	closed   bool
-	listener net.Listener
+	closed   bool         // guarded by mu
+	listener net.Listener // guarded by mu
 }
 
 type barrierKey struct {
@@ -127,7 +127,12 @@ func (s *Server) serveConn(raw net.Conn) {
 			}
 			s.mu.Unlock()
 		case openflow.TypeEchoRequest:
-			c.Send(&openflow.Message{Type: openflow.TypeEchoReply, Xid: m.Xid, Body: m.Body})
+			// A failed echo reply means the channel is dead; drop the
+			// connection rather than let the switch keep believing it is
+			// being served.
+			if err := c.Send(&openflow.Message{Type: openflow.TypeEchoReply, Xid: m.Xid, Body: m.Body}); err != nil {
+				return
+			}
 		default:
 			// Errors and stray messages are tolerated; a real controller
 			// would log them.

@@ -29,7 +29,8 @@ type Agent struct {
 	Logger *log.Logger // may be nil
 
 	// Sink receives tag reports for packets this agent injects via
-	// PacketOut (nil discards them).
+	// PacketOut (nil discards them). Sink callbacks are serialized under
+	// the fabric lock. guarded by Mu
 	Sink ReportSink
 }
 

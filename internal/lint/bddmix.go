@@ -1,0 +1,204 @@
+// Checker bddmix: cross-manager BDD misuse. A bdd.Ref is an index into
+// one specific bdd.Table's node array (bdd package doc: "Refs from
+// different Tables must not be mixed"). Passing a Ref minted by one
+// manager into a method of another silently denotes a *different* header
+// set — or panics on a range check if you are lucky. The engine can only
+// catch out-of-range refs at runtime; this checker catches the in-range
+// ones statically.
+//
+// The analysis is per-function and provenance-based: a Ref expression's
+// manager is the dotted chain of the Table receiver it was produced by
+// (`t`, `s.T`, ...). Table-typed locals are alias-resolved (`u := s.T`
+// makes `u` and `s.T` the same manager). Anything whose provenance does
+// not resolve to a single chain — parameters, struct fields, merged
+// branches — is left alone: the checker prefers silence to false alarms.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// bddPkgPath is the package that owns the manager and ref types.
+const bddPkgPath = "veridp/internal/bdd"
+
+// BDDMix flags bdd.Refs produced by one bdd.Table flowing into methods
+// of another.
+var BDDMix = &Analyzer{
+	Name: "bddmix",
+	Doc:  "bdd.Refs minted by one bdd.Table must not be passed to methods of another",
+	Run:  runBDDMix,
+}
+
+func isBDDTable(t types.Type) bool {
+	_, ok := isNamed(t, bddPkgPath, "Table")
+	return ok
+}
+
+func isBDDRef(t types.Type) bool {
+	_, ok := isNamed(t, bddPkgPath, "Ref")
+	return ok
+}
+
+func runBDDMix(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBDDFunc(pass, fd)
+		}
+	}
+}
+
+// checkBDDFunc tracks Ref provenance through one function body.
+func checkBDDFunc(pass *Pass, fd *ast.FuncDecl) {
+	// refSource maps a Ref-typed local to the manager chain that minted
+	// it; conflicting assignments evict the entry.
+	refSource := make(map[types.Object]string)
+	// tableAlias maps a Table-typed local to the canonical chain it
+	// aliases, so `u := s.T; u.And(...)` compares equal to `s.T`.
+	tableAlias := make(map[string]string)
+
+	canonical := func(chain string) string {
+		for i := 0; i < 10; i++ { // bounded: alias chains are tiny
+			next, ok := tableAlias[chain]
+			if !ok || next == chain {
+				return chain
+			}
+			chain = next
+		}
+		return chain
+	}
+
+	// managerOf resolves the manager chain of a call's receiver, or ""
+	// if the call is not a Table method or the receiver is opaque.
+	managerOf := func(call *ast.CallExpr) string {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		tv, ok := pass.Info.Types[sel.X]
+		if !ok || tv.Type == nil || !isBDDTable(tv.Type) {
+			return ""
+		}
+		chain := exprChain(sel.X)
+		if chain == "" {
+			return ""
+		}
+		return canonical(chain)
+	}
+
+	// Pass 1: record provenance from assignments, in source order.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// Table aliasing: u := <table chain>.
+		if len(as.Lhs) == len(as.Rhs) {
+			for i := range as.Lhs {
+				lhsChain := exprChain(as.Lhs[i])
+				rhsChain := exprChain(as.Rhs[i])
+				tv, ok := pass.Info.Types[as.Rhs[i]]
+				if ok && tv.Type != nil && isBDDTable(tv.Type) && lhsChain != "" && rhsChain != "" {
+					tableAlias[lhsChain] = rhsChain
+				}
+			}
+		}
+		// Ref provenance: every Ref-typed LHS fed by a single Table
+		// method call inherits that call's manager; a plain copy of a
+		// tracked Ref local inherits its source's manager.
+		if len(as.Rhs) == 1 {
+			var mgr string
+			switch rhs := as.Rhs[0].(type) {
+			case *ast.CallExpr:
+				mgr = managerOf(rhs)
+			case *ast.Ident:
+				if obj := pass.Info.Uses[rhs]; obj != nil {
+					mgr = refSource[obj]
+				}
+			default:
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj == nil || !isBDDRef(obj.Type()) {
+					continue
+				}
+				if mgr == "" {
+					delete(refSource, obj) // opaque producer: forget
+					continue
+				}
+				if prev, seen := refSource[obj]; seen && prev != mgr {
+					delete(refSource, obj) // mixed provenance: stay silent
+					continue
+				}
+				refSource[obj] = mgr
+			}
+		}
+		return true
+	})
+
+	// Pass 2: at every Table method call, check Ref arguments against
+	// the receiver's manager.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		mgr := managerOf(call)
+		if mgr == "" {
+			return true
+		}
+		for _, arg := range call.Args {
+			tv, ok := pass.Info.Types[arg]
+			if !ok || tv.Type == nil || !isBDDRef(tv.Type) {
+				continue
+			}
+			src := refProvenance(pass, refSource, canonical, arg)
+			if src != "" && src != mgr {
+				pass.Reportf(arg.Pos(),
+					"bdd.Ref minted by manager %q passed to a method of manager %q; refs must not cross bdd.Tables",
+					src, mgr)
+			}
+		}
+		return true
+	})
+}
+
+// refProvenance resolves the manager chain that minted the Ref-typed
+// expression e: directly for nested Table calls, via the provenance map
+// for locals. Returns "" when unknown.
+func refProvenance(pass *Pass, refSource map[types.Object]string, canonical func(string) string, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		tv, ok := pass.Info.Types[sel.X]
+		if !ok || tv.Type == nil || !isBDDTable(tv.Type) {
+			return ""
+		}
+		if chain := exprChain(sel.X); chain != "" {
+			return canonical(chain)
+		}
+	case *ast.Ident:
+		if obj := pass.Info.Uses[e]; obj != nil {
+			return refSource[obj]
+		}
+	case *ast.ParenExpr:
+		return refProvenance(pass, refSource, canonical, e.X)
+	}
+	return ""
+}

@@ -1,0 +1,178 @@
+// Checker goleak: goroutine-leak shapes. A `go func() { ... }()` literal
+// that receives from a channel inside a loop with no escape route blocks
+// forever when the producer stops — or spins forever reading zero values
+// once the channel is closed. In the monitoring pipeline these leaks pile
+// up one per switch connection, which is exactly the slow-resource-death
+// mode a long-running verification server cannot afford.
+//
+// Accepted escape shapes, per receive:
+//   - `for range ch` — terminates when the channel is closed;
+//   - `v, ok := <-ch` — the comma-ok form, which observes closure;
+//   - a receive that is a case of a `select` which also has a
+//     `<-ctx.Done()`-style case (any `*.Done()` call) or a
+//     `<-time.After(...)` timeout case.
+//
+// Receives outside loops are bounded and never flagged.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak flags go-func literals that loop on a channel receive with no
+// ctx.Done()/close/timeout escape path.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "go func literals must not loop on a channel receive without a ctx.Done()/close/timeout escape",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fl, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoLit(pass, fl)
+			return true
+		})
+	}
+}
+
+// checkGoLit scans one goroutine literal for unescaped receive loops.
+func checkGoLit(pass *Pass, fl *ast.FuncLit) {
+	// Walk with a stack of enclosing loops so each receive knows whether
+	// it repeats.
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			if n != fl {
+				return // nested literals are visited via their own go statements, if any
+			}
+		case *ast.ForStmt:
+			walkChildren(n, func(c ast.Node) { walk(c, true) })
+			return
+		case *ast.RangeStmt:
+			// `for range ch` over a channel is itself a close path; the
+			// body still runs inside a loop for any other receives.
+			walkChildren(n, func(c ast.Node) { walk(c, true) })
+			return
+		case *ast.SelectStmt:
+			if selectHasEscape(pass, n) {
+				// Escapable select: its direct receives are fine, but
+				// nested statements keep their loop context.
+				for _, clause := range n.Body.List {
+					cc := clause.(*ast.CommClause)
+					for _, stmt := range cc.Body {
+						walk(stmt, inLoop)
+					}
+				}
+				return
+			}
+		case *ast.AssignStmt:
+			// Comma-ok receive: v, ok := <-ch.
+			if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+				if isReceive(n.Rhs[0]) {
+					return
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && inLoop {
+				pass.Reportf(n.Pos(),
+					"goroutine receives from a channel in a loop with no ctx.Done()/close/timeout escape; it leaks if the sender stops")
+				return
+			}
+		}
+		walkChildren(n, func(c ast.Node) { walk(c, inLoop) })
+	}
+	walk(fl, false)
+}
+
+// walkChildren applies f to each direct child node of n.
+func walkChildren(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			f(c)
+		}
+		return false
+	})
+}
+
+// isReceive reports whether e is a channel receive expression.
+func isReceive(e ast.Expr) bool {
+	ue, ok := e.(*ast.UnaryExpr)
+	return ok && ue.Op == token.ARROW
+}
+
+// selectHasEscape reports whether the select has a case that can observe
+// cancellation: a receive from a `*.Done()` call, a receive from
+// `time.After(...)`, or a comma-ok receive.
+func selectHasEscape(pass *Pass, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = comm.X
+		case *ast.AssignStmt:
+			if len(comm.Lhs) == 2 {
+				return true // comma-ok case observes closure
+			}
+			if len(comm.Rhs) == 1 {
+				recv = comm.Rhs[0]
+			}
+		}
+		ue, ok := recv.(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW {
+			continue
+		}
+		if isEscapeChannel(pass, ue.X) {
+			return true
+		}
+	}
+	return false
+}
+
+// isEscapeChannel reports whether the channel expression is a
+// cancellation-shaped source: any `*.Done()` method call (contexts,
+// custom lifecycle structs) or `time.After(...)`.
+func isEscapeChannel(pass *Pass, ch ast.Expr) bool {
+	call, ok := ch.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name == "Done" {
+		return true
+	}
+	if sel.Sel.Name == "After" {
+		if obj, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+			if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "time" {
+				return true
+			}
+		}
+	}
+	return false
+}

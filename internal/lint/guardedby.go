@@ -1,0 +1,236 @@
+// Checker guardedby: lock-annotation discipline. A struct field whose
+// comment says `// guarded by <mu>` (where <mu> names a sibling field of
+// type sync.Mutex, sync.RWMutex, or a pointer to either) may only be
+// read or written in a function whose body acquires that mutex on the
+// same base expression — `s.conns` demands an `s.mu.Lock()` (or RLock)
+// in the same function scope. The check is flow-insensitive: it asks
+// "does this scope ever take the lock", not "is the lock held at this
+// statement", trading soundness for zero false positives on idiomatic
+// lock/defer-unlock code.
+//
+// Scopes are the innermost enclosing FuncDecl or FuncLit; a lock taken
+// inside a nested closure does not license accesses outside it, and vice
+// versa. Helpers that are documented to run with the lock already held
+// can declare it with a `lint:held <mu>` marker in their doc comment.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// GuardedBy enforces the `// guarded by <mu>` field-annotation
+// convention.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated `// guarded by <mu>` may only be accessed in scopes that lock <mu>",
+	Run:  runGuardedBy,
+}
+
+var (
+	guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+	heldRe    = regexp.MustCompile(`lint:held ([A-Za-z_][A-Za-z0-9_]*)`)
+)
+
+// guardSpec records that field fieldName of the struct type named
+// structName is guarded by sibling mutex field mu.
+type guardSpec struct {
+	mu string
+}
+
+// isMutexType reports whether t is sync.Mutex, sync.RWMutex, or a
+// pointer to either.
+func isMutexType(t types.Type) bool {
+	if _, ok := isNamed(t, "sync", "Mutex"); ok {
+		return true
+	}
+	if _, ok := isNamed(t, "sync", "RWMutex"); ok {
+		return true
+	}
+	return false
+}
+
+// collectGuards walks the package's struct declarations and returns
+// guarded-field specs keyed by (named struct type, field name).
+func collectGuards(pass *Pass) map[*types.Named]map[string]guardSpec {
+	guards := make(map[*types.Named]map[string]guardSpec)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Defs[ts.Name]
+			if !ok {
+				return true
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			structType, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			mutexFields := make(map[string]bool)
+			for i := 0; i < structType.NumFields(); i++ {
+				f := structType.Field(i)
+				if isMutexType(f.Type()) {
+					mutexFields[f.Name()] = true
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu := annotatedMutex(field)
+				if mu == "" {
+					continue
+				}
+				if !mutexFields[mu] {
+					pass.Reportf(field.Pos(),
+						"guarded-by annotation names %q, which is not a sync.Mutex/RWMutex field of %s",
+						mu, named.Obj().Name())
+					continue
+				}
+				if guards[named] == nil {
+					guards[named] = make(map[string]guardSpec)
+				}
+				for _, name := range field.Names {
+					guards[named][name.Name] = guardSpec{mu: mu}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// annotatedMutex extracts the mutex name from a field's doc or trailing
+// line comment, or "" if the field carries no guarded-by annotation.
+func annotatedMutex(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// scope is one function body: the set of mutex chains it locks and the
+// guarded accesses it performs.
+type scope struct {
+	body *ast.BlockStmt
+	held map[string]bool // "base.mu" chains locked in this scope
+	decl *ast.FuncDecl   // nil for function literals
+}
+
+func runGuardedBy(pass *Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkScope(pass, guards, &scope{body: fd.Body, decl: fd})
+		}
+	}
+}
+
+// checkScope verifies one function body, recursing into nested function
+// literals as fresh scopes.
+func checkScope(pass *Pass, guards map[*types.Named]map[string]guardSpec, sc *scope) {
+	sc.held = lockedChains(sc)
+	var nested []*ast.FuncLit
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			nested = append(nested, fl)
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		named, ok := derefNamed(selection.Recv())
+		if !ok {
+			return true
+		}
+		spec, ok := guards[named][sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		base := exprChain(sel.X)
+		if base == "" {
+			return true // provenance unknown; stay silent
+		}
+		if !sc.held[base+"."+spec.mu] {
+			pass.Reportf(sel.Pos(),
+				"%s.%s is guarded by %q but this scope never locks %s.%s",
+				base, sel.Sel.Name, spec.mu, base, spec.mu)
+		}
+		return true
+	})
+	for _, fl := range nested {
+		checkScope(pass, guards, &scope{body: fl.Body})
+	}
+}
+
+// lockedChains collects every "base.mu" chain this scope acquires via a
+// direct Lock/RLock call (calls inside nested literals do not count),
+// plus any chains declared held through a `lint:held <mu>` doc marker on
+// the enclosing method.
+func lockedChains(sc *scope) map[string]bool {
+	held := make(map[string]bool)
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		if chain := exprChain(sel.X); chain != "" {
+			held[chain] = true
+		}
+		return true
+	})
+	if sc.decl != nil && sc.decl.Doc != nil && sc.decl.Recv != nil && len(sc.decl.Recv.List) > 0 {
+		if names := sc.decl.Recv.List[0].Names; len(names) > 0 {
+			recv := names[0].Name
+			for _, m := range heldRe.FindAllStringSubmatch(sc.decl.Doc.Text(), -1) {
+				held[recv+"."+m[1]] = true
+			}
+		}
+	}
+	return held
+}
+
+// derefNamed unwraps pointers and returns the named type, if any.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}

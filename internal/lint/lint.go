@@ -1,0 +1,156 @@
+// Package lint is veridp-lint: a stdlib-only static-analysis framework
+// (go/parser, go/ast, go/types — no external dependencies) that enforces
+// repo-specific concurrency and correctness invariants across the VeriDP
+// monitoring pipeline. The design mirrors golang.org/x/tools/go/analysis
+// — an Analyzer owns a name, a doc string, and a Run function over a Pass
+// — but is self-contained so go.mod stays empty.
+//
+// The checkers exist because VeriDP's monitor is itself concurrent: the
+// southbound proxy, the controller server, the dataplane agents, and the
+// report collector all spawn goroutines, and a state-corruption bug in
+// the monitor masquerades as a data-plane fault (exactly the confusion
+// the system is meant to resolve). See the package docs on each checker
+// file for the invariant it enforces.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding: a position, the checker that produced it,
+// and a human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Checker string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Checker)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	checker string
+	diags   *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Checker: p.checker,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers lists every checker in registration order.
+var Analyzers = []*Analyzer{
+	MutexByValue,
+	GuardedBy,
+	GoLeak,
+	BDDMix,
+	SouthboundErr,
+}
+
+// ByName returns the analyzer registered under name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies each analyzer to each package and returns the combined
+// findings sorted by file position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:    pkg.Fset,
+				Files:   pkg.Files,
+				Pkg:     pkg.Types,
+				Info:    pkg.Info,
+				checker: a.Name,
+				diags:   &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+// exprChain renders a receiver expression as a dotted identifier chain
+// ("t", "s.T", "m.left.table"). It returns "" for expressions that are
+// not pure ident/selector chains (calls, index expressions, ...), which
+// callers treat as "provenance unknown — do not report".
+func exprChain(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprChain(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprChain(e.X)
+	case *ast.StarExpr:
+		return exprChain(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return exprChain(e.X)
+		}
+	}
+	return ""
+}
+
+// isNamed reports whether t (after pointer unwrapping) is the named type
+// pkgPath.name, and returns the unwrapped named type.
+func isNamed(t types.Type, pkgPath, name string) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil, false
+	}
+	if obj.Pkg().Path() == pkgPath && obj.Name() == name {
+		return named, true
+	}
+	return nil, false
+}

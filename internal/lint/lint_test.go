@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The corpus harness: each checker owns a testdata/<name> directory
+// holding one known-bad and one known-good file. Lines in bad.go carry
+// `want "<substring>"` markers; the checker must produce a diagnostic
+// containing the substring on every marked line and nothing anywhere
+// else — in particular nothing in good.go.
+
+var wantRe = regexp.MustCompile(`want "([^"]+)"`)
+
+var (
+	exportsOnce sync.Once
+	exportsMap  map[string]string
+	exportsErr  error
+)
+
+// corpusExports builds (once) the export-data map for everything the
+// corpus imports: the module's own packages plus the stdlib packages the
+// testdata files use directly.
+func corpusExports(t *testing.T) map[string]string {
+	t.Helper()
+	exportsOnce.Do(func() {
+		out, err := exec.Command("go", "env", "GOMOD").Output()
+		if err != nil {
+			exportsErr = err
+			return
+		}
+		root := filepath.Dir(strings.TrimSpace(string(out)))
+		exportsMap, _, exportsErr = GoList(root, "./...", "context", "time", "sync")
+	})
+	if exportsErr != nil {
+		t.Fatalf("building corpus export data: %v", exportsErr)
+	}
+	return exportsMap
+}
+
+func TestCheckerCorpus(t *testing.T) {
+	for _, a := range Analyzers {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			files, err := filepath.Glob(filepath.Join("testdata", a.Name, "*.go"))
+			if err != nil || len(files) < 2 {
+				t.Fatalf("corpus for %s: files=%v err=%v (want good.go and bad.go)", a.Name, files, err)
+			}
+			fset := token.NewFileSet()
+			imp := NewImporter(fset, corpusExports(t))
+			pkg, err := CheckFiles(fset, imp, "veridp/lint/corpus/"+a.Name, files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := Run([]*Package{pkg}, []*Analyzer{a})
+
+			type mark struct {
+				file string
+				line int
+			}
+			wants := make(map[mark]string)
+			for _, f := range pkg.Files {
+				name := fset.Position(f.Pos()).Filename
+				for _, cg := range f.Comments {
+					for _, c := range cg.List {
+						if m := wantRe.FindStringSubmatch(c.Text); m != nil {
+							wants[mark{name, fset.Position(c.Pos()).Line}] = m[1]
+						}
+					}
+				}
+			}
+			if len(wants) == 0 {
+				t.Fatalf("corpus for %s has no want markers", a.Name)
+			}
+
+			seen := make(map[mark]bool)
+			for _, d := range diags {
+				if filepath.Base(d.Pos.Filename) == "good.go" {
+					t.Errorf("checker fired on the known-good file: %s", d)
+					continue
+				}
+				k := mark{d.Pos.Filename, d.Pos.Line}
+				sub, ok := wants[k]
+				if !ok {
+					t.Errorf("unexpected diagnostic: %s", d)
+					continue
+				}
+				if !strings.Contains(d.Message, sub) {
+					t.Errorf("%s:%d: diagnostic %q does not contain %q", k.file, k.line, d.Message, sub)
+				}
+				seen[k] = true
+			}
+			for k, sub := range wants {
+				if !seen[k] {
+					t.Errorf("%s:%d: expected a diagnostic containing %q, got none", k.file, k.line, sub)
+				}
+			}
+		})
+	}
+}
+
+// TestLoadSelf exercises the production loader end-to-end on this very
+// package: list, build export data, parse, type-check.
+func TestLoadSelf(t *testing.T) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(out)))
+	pkgs, err := Load(root, "./internal/lint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Types.Name() != "lint" {
+		t.Fatalf("Load returned %+v, want the lint package itself", pkgs)
+	}
+	if diags := Run(pkgs, Analyzers); len(diags) != 0 {
+		t.Fatalf("the linter does not lint clean: %v", diags)
+	}
+}

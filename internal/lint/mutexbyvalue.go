@@ -1,0 +1,124 @@
+// Checker mutexbyvalue: no sync.Mutex / sync.RWMutex may travel by
+// value. A copied mutex is an independent lock that silently stops
+// guarding the state it was copied from — in a monitoring pipeline that
+// bug reads as a data-plane inconsistency, the very thing VeriDP is
+// supposed to detect. `go vet`'s copylocks overlaps here; this checker
+// keeps the invariant enforced even when vet's scope changes, and states
+// the repo rule explicitly: value receivers on lock-bearing types are
+// banned outright.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexByValue reports value receivers, assignments, and call arguments
+// that copy a value containing a sync.Mutex or sync.RWMutex.
+var MutexByValue = &Analyzer{
+	Name: "mutexbyvalue",
+	Doc:  "forbid copying sync.Mutex/sync.RWMutex via value receivers, assignments, or call arguments",
+	Run:  runMutexByValue,
+}
+
+// containsLock reports whether t transitively contains a sync.Mutex or
+// sync.RWMutex by value (pointers and interfaces break the chain).
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			if obj.Name() == "Mutex" || obj.Name() == "RWMutex" {
+				return true
+			}
+		}
+		return containsLock(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLock(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(t.Elem(), seen)
+	}
+	return false
+}
+
+func lockByValue(t types.Type) bool {
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return false
+	}
+	return containsLock(t, make(map[types.Type]bool))
+}
+
+// copyLike reports whether e is an expression whose evaluation copies an
+// existing value: a variable read, a field or element read, or a pointer
+// dereference. Composite literals and calls construct fresh values whose
+// locks have never been used, so they are tolerated.
+func copyLike(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		_, isVar := info.Uses[e].(*types.Var)
+		return isVar
+	case *ast.SelectorExpr:
+		return info.Selections[e] != nil // a field read, not a package qualifier
+	case *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copyLike(info, e.X)
+	}
+	return false
+}
+
+func runMutexByValue(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv == nil || len(n.Recv.List) == 0 {
+					return true
+				}
+				recv := n.Recv.List[0]
+				t := pass.Info.Types[recv.Type].Type
+				if t != nil && lockByValue(t) {
+					pass.Reportf(recv.Type.Pos(),
+						"method %s has a value receiver of type %s, which contains a mutex; use a pointer receiver",
+						n.Name.Name, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					tv, ok := pass.Info.Types[rhs]
+					if !ok || tv.Type == nil {
+						continue
+					}
+					if lockByValue(tv.Type) && copyLike(pass.Info, rhs) {
+						pass.Reportf(rhs.Pos(),
+							"assignment copies a value of type %s, which contains a mutex",
+							types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					tv, ok := pass.Info.Types[arg]
+					if !ok || tv.Type == nil {
+						continue
+					}
+					if lockByValue(tv.Type) && copyLike(pass.Info, arg) {
+						pass.Reportf(arg.Pos(),
+							"call passes a value of type %s by value, which copies its mutex",
+							types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+					}
+				}
+			}
+			return true
+		})
+	}
+}

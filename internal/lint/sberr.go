@@ -1,0 +1,102 @@
+// Checker sberr: unchecked southbound writes. Every Send* method on
+// openflow.Conn returns an error, and on the southbound channel a failed
+// send means the switch and the controller now disagree about what was
+// installed — precisely the control/data-plane gap VeriDP monitors. An
+// ignored send error turns a detectable transport fault into a silent
+// inconsistency, so the repo rule is: the error result of every
+// openflow.Conn Send* call must be consumed (assigned to a non-blank
+// identifier or checked directly).
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// openflowPkgPath is the package that owns the southbound transport.
+const openflowPkgPath = "veridp/internal/openflow"
+
+// SouthboundErr flags openflow.Conn Send* calls whose error result is
+// discarded.
+var SouthboundErr = &Analyzer{
+	Name: "sberr",
+	Doc:  "the error result of openflow.Conn Send* calls must not be discarded",
+	Run:  runSouthboundErr,
+}
+
+// southboundSend reports whether call is a Send* method on
+// *openflow.Conn whose last result is an error.
+func southboundSend(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if len(fn.Name()) < 4 || fn.Name()[:4] != "Send" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	if _, ok := isNamed(sig.Recv().Type(), openflowPkgPath, "Conn"); !ok {
+		return "", false
+	}
+	results := sig.Results()
+	if results.Len() == 0 {
+		return "", false
+	}
+	last := results.At(results.Len() - 1).Type()
+	if named, ok := last.(*types.Named); !ok || named.Obj().Name() != "error" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+func runSouthboundErr(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, ok := southboundSend(pass, call); ok {
+						pass.Reportf(call.Pos(),
+							"southbound %s error discarded; a failed send leaves the planes inconsistent", name)
+					}
+				}
+			case *ast.GoStmt:
+				if name, ok := southboundSend(pass, n.Call); ok {
+					pass.Reportf(n.Call.Pos(),
+						"southbound %s error discarded by go statement", name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := southboundSend(pass, n.Call); ok {
+					pass.Reportf(n.Call.Pos(),
+						"southbound %s error discarded by defer statement", name)
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := southboundSend(pass, call)
+				if !ok {
+					return true
+				}
+				// The error is the last result; flag a blank in that slot.
+				if last, isIdent := n.Lhs[len(n.Lhs)-1].(*ast.Ident); isIdent && last.Name == "_" {
+					pass.Reportf(last.Pos(),
+						"southbound %s error assigned to the blank identifier", name)
+				}
+			}
+			return true
+		})
+	}
+}

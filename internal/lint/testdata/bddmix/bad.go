@@ -1,0 +1,21 @@
+// Known-bad corpus for the bddmix checker: bdd.Refs minted by one
+// manager flowing into methods of another, directly and via locals.
+
+package bddmix
+
+import "veridp/internal/bdd"
+
+func mixViaLocal(t1, t2 *bdd.Table) bdd.Ref {
+	x := t1.Var(0)
+	return t2.Not(x) // want "cross"
+}
+
+func mixNested(t1, t2 *bdd.Table) bdd.Ref {
+	return t1.And(t1.Var(1), t2.Var(2)) // want "cross"
+}
+
+func mixThroughCopy(t1, t2 *bdd.Table) bool {
+	a := t1.Or(t1.Var(0), t1.Var(1))
+	b := a
+	return t2.Implies(b, b) // want "cross"
+}

@@ -1,0 +1,29 @@
+// Known-good corpus for the bddmix checker: single-manager use, alias
+// of the same manager, and refs from two managers that never cross.
+
+package bddmix
+
+import "veridp/internal/bdd"
+
+func sameManager(t *bdd.Table) bdd.Ref {
+	a := t.Var(0)
+	b := t.NVar(1)
+	return t.And(a, b)
+}
+
+func aliasedManager(t *bdd.Table) bdd.Ref {
+	u := t
+	x := u.Var(0)
+	return t.Not(x) // u aliases t: same manager
+}
+
+func twoManagersKeptApart(t1, t2 *bdd.Table) bool {
+	a := t1.Var(0)
+	b := t2.Var(0)
+	return t1.Implies(a, a) == t2.Implies(b, b)
+}
+
+func opaqueProvenance(t *bdd.Table, mk func() bdd.Ref) bdd.Ref {
+	x := mk() // unknown producer: the checker stays silent
+	return t.Not(x)
+}

@@ -1,0 +1,34 @@
+// Known-bad corpus for the goleak checker: goroutines that loop on a
+// channel receive with no cancellation, close, or timeout escape.
+
+package goleak
+
+func leakyWorker(ch chan int, out chan<- int) {
+	go func() {
+		for {
+			v := <-ch // want "leaks"
+			out <- v
+		}
+	}()
+}
+
+func leakySelect(a, b chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-a: // want "leaks"
+				_ = v
+			case v := <-b: // want "leaks"
+				_ = v
+			}
+		}
+	}()
+}
+
+func leakyDrain(ch chan struct{}) {
+	go func() {
+		for i := 0; i < 1000; i++ {
+			<-ch // want "leaks"
+		}
+	}()
+}

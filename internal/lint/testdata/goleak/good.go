@@ -1,0 +1,62 @@
+// Known-good corpus for the goleak checker: every accepted escape shape
+// — range-over-channel, comma-ok, ctx.Done() select, timeout select, and
+// a bounded receive outside any loop.
+
+package goleak
+
+import (
+	"context"
+	"time"
+)
+
+func rangeWorker(ch chan int, out chan<- int) {
+	go func() {
+		for v := range ch { // terminates when ch is closed
+			out <- v
+		}
+	}()
+}
+
+func commaOkWorker(ch chan int, out chan<- int) {
+	go func() {
+		for {
+			v, ok := <-ch
+			if !ok {
+				return
+			}
+			out <- v
+		}
+	}()
+}
+
+func ctxWorker(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func timeoutLoop(ch chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			case <-time.After(time.Second):
+				return
+			}
+		}
+	}()
+}
+
+func boundedWait(ch chan int) {
+	go func() {
+		<-ch // a single receive is bounded, not a loop
+	}()
+}

@@ -1,0 +1,34 @@
+// Known-bad corpus for the guardedby checker: unlocked accesses to
+// annotated fields, a lock-in-the-wrong-scope closure, and an annotation
+// naming a nonexistent mutex.
+
+package guardedby
+
+import "sync"
+
+type regBad struct {
+	mu    sync.Mutex
+	peers map[string]int // guarded by mu
+}
+
+func (r *regBad) add(name string) {
+	r.peers[name]++ // want "never locks"
+}
+
+func (r *regBad) size() int {
+	return len(r.peers) // want "never locks"
+}
+
+func (r *regBad) leakyWatch() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// The outer lock does not protect the closure, which runs later.
+	go func() {
+		delete(r.peers, "gone") // want "never locks"
+	}()
+}
+
+type regTypo struct {
+	mu    sync.Mutex
+	count int // guarded by mux -- want "not a sync.Mutex"
+}

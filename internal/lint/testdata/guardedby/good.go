@@ -1,0 +1,60 @@
+// Known-good corpus for the guardedby checker: lock/defer-unlock
+// methods, RLock readers, a correctly locking closure, a constructor
+// composite literal, and a `lint:held` helper must all stay silent.
+
+package guardedby
+
+import "sync"
+
+type regGood struct {
+	mu    sync.Mutex
+	peers map[string]int // guarded by mu
+}
+
+func newRegGood() *regGood {
+	return &regGood{peers: make(map[string]int)}
+}
+
+func (r *regGood) add(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.peers[name]++
+}
+
+func (r *regGood) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.peers)
+}
+
+// sizeLocked reports the peer count.
+//
+// lint:held mu
+func (r *regGood) sizeLocked() int {
+	return len(r.peers)
+}
+
+func (r *regGood) watch() {
+	go func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		delete(r.peers, "gone")
+	}()
+}
+
+type rwGood struct {
+	mu   sync.RWMutex
+	vals []int // guarded by mu
+}
+
+func (g *rwGood) first() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.vals[0]
+}
+
+func (g *rwGood) push(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.vals = append(g.vals, v)
+}

@@ -1,0 +1,35 @@
+// Known-bad corpus for the mutexbyvalue checker: every copy shape it
+// must flag.
+
+package mutexbyvalue
+
+import "sync"
+
+type counterBad struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c counterBad) Read() int { // want "value receiver"
+	return c.n
+}
+
+func snapshot(c *counterBad) int {
+	cp := *c // want "copies a value"
+	return cp.n
+}
+
+func consume(counterBad) {}
+
+func feed(c *counterBad) {
+	consume(*c) // want "by value"
+}
+
+type wrapperBad struct {
+	inner counterBad
+}
+
+func copyField(w *wrapperBad) int {
+	local := w.inner // want "copies a value"
+	return local.n
+}

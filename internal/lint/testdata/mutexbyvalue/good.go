@@ -1,0 +1,30 @@
+// Known-good corpus for the mutexbyvalue checker: pointer receivers,
+// fresh composite literals, and pointer passing must all stay silent.
+
+package mutexbyvalue
+
+import "sync"
+
+type counterGood struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counterGood) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func fresh() *counterGood {
+	c := counterGood{} // a fresh value, not a copy of a live lock
+	return &c
+}
+
+func usePointer(c *counterGood) {
+	c.Inc()
+}
+
+func viaPointerArg(f func(*counterGood), c *counterGood) {
+	f(c)
+}

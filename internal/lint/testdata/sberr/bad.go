@@ -1,0 +1,26 @@
+// Known-bad corpus for the sberr checker: southbound sends whose error
+// result is discarded.
+
+package sberr
+
+import "veridp/internal/openflow"
+
+func ignoreSend(c *openflow.Conn, m *openflow.Message) {
+	c.Send(m) // want "discarded"
+}
+
+func blankFlowMod(c *openflow.Conn, f *openflow.FlowMod) {
+	_, _ = c.SendFlowMod(f) // want "blank"
+}
+
+func deferredSend(c *openflow.Conn, m *openflow.Message) {
+	defer c.Send(m) // want "defer"
+}
+
+func goSend(c *openflow.Conn, m *openflow.Message) {
+	go c.Send(m) // want "go statement"
+}
+
+func ignoreBarrier(c *openflow.Conn, xid uint32) {
+	c.SendBarrierReply(xid) // want "discarded"
+}

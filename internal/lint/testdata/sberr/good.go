@@ -1,0 +1,37 @@
+// Known-good corpus for the sberr checker: sends with the error
+// returned, checked, or bound to a live variable; non-send Conn methods
+// stay out of scope.
+
+package sberr
+
+import "veridp/internal/openflow"
+
+func returnedSend(c *openflow.Conn, m *openflow.Message) error {
+	return c.Send(m)
+}
+
+func checkedSend(c *openflow.Conn, m *openflow.Message) {
+	if err := c.Send(m); err != nil {
+		panic(err)
+	}
+}
+
+func boundFlowMod(c *openflow.Conn, f *openflow.FlowMod) (uint32, error) {
+	xid, err := c.SendFlowMod(f)
+	if err != nil {
+		return 0, err
+	}
+	return xid, nil
+}
+
+func recvOutOfScope(c *openflow.Conn) *openflow.Message {
+	m, err := c.Recv()
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+func xidOutOfScope(c *openflow.Conn) uint32 {
+	return c.NextXid() // not a Send*: no error to lose
+}

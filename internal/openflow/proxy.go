@@ -38,9 +38,9 @@ type Proxy struct {
 	logger         *log.Logger
 
 	mu       sync.Mutex
-	listener net.Listener
-	sessions map[net.Conn]struct{}
-	closed   bool
+	listener net.Listener          // guarded by mu
+	sessions map[net.Conn]struct{} // guarded by mu
+	closed   bool                  // guarded by mu
 }
 
 // NewProxy returns a proxy that splices to the controller at addr. logger

@@ -55,6 +55,9 @@ type Collector struct {
 	received  atomic.Uint64
 	malformed atomic.Uint64
 
+	mu       sync.Mutex
+	bySource map[string]uint64 // guarded by mu
+
 	closeOnce sync.Once
 }
 
@@ -69,7 +72,7 @@ func NewCollector(addr string, handler func(*packet.Report), logger *log.Logger)
 	if err != nil {
 		return nil, fmt.Errorf("report: listen %q: %w", addr, err)
 	}
-	return &Collector{conn: conn, handler: handler, logger: logger}, nil
+	return &Collector{conn: conn, handler: handler, logger: logger, bySource: make(map[string]uint64)}, nil
 }
 
 // Addr returns the bound address (useful with port 0).
@@ -80,7 +83,7 @@ func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
 func (c *Collector) Run() error {
 	buf := make([]byte, 2048)
 	for {
-		n, _, err := c.conn.ReadFromUDP(buf)
+		n, from, err := c.conn.ReadFromUDP(buf)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return err
@@ -99,6 +102,9 @@ func (c *Collector) Run() error {
 			continue
 		}
 		c.received.Add(1)
+		c.mu.Lock()
+		c.bySource[from.String()]++
+		c.mu.Unlock()
 		c.handler(r)
 	}
 }
@@ -108,6 +114,19 @@ func (c *Collector) Received() uint64 { return c.received.Load() }
 
 // Malformed returns the count of undecodable datagrams.
 func (c *Collector) Malformed() uint64 { return c.malformed.Load() }
+
+// SourceCounts returns a snapshot of well-formed report counts keyed by
+// sender address — the per-switch breakdown a deployment uses to spot a
+// switch whose reports stopped arriving.
+func (c *Collector) SourceCounts() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.bySource))
+	for k, v := range c.bySource {
+		out[k] = v
+	}
+	return out
+}
 
 // Close stops Run.
 func (c *Collector) Close() {
