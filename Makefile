@@ -22,7 +22,7 @@ fmt:
 	fi
 
 lint:
-	$(GO) run ./cmd/veridp-lint ./...
+	$(GO) run ./cmd/veridp-lint -baseline lint.baseline ./...
 
 race:
 	$(GO) test -race ./...

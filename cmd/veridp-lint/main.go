@@ -2,75 +2,195 @@
 // internal/lint) over the named package patterns. It is the lint half of
 // `make check`:
 //
-//	go run ./cmd/veridp-lint ./...
+//	go run ./cmd/veridp-lint -baseline lint.baseline ./...
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load failure. Test files
-// are not linted — `go vet` and `go test -race` cover those.
+// Exit status contract: 0 clean (no findings beyond the baseline),
+// 1 fresh findings, 2 usage or load failure. Test files are not linted —
+// `go vet` and `go test -race` cover those.
+//
+// Findings silenced by `//lint:ignore <checker> <reason>` comments and
+// findings matched by the baseline are counted in the summary rather
+// than silently dropped; `-json` emits the full machine-readable result.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"veridp/internal/lint"
 )
 
+type jsonDiag struct {
+	Checker string `json:"checker"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+type jsonOutput struct {
+	Diagnostics []jsonDiag `json:"diagnostics"`
+	Suppressed  []jsonDiag `json:"suppressed"`
+	Baselined   []jsonDiag `json:"baselined"`
+	Summary     struct {
+		Findings      int `json:"findings"`
+		Suppressed    int `json:"suppressed"`
+		Baselined     int `json:"baselined"`
+		StaleBaseline int `json:"staleBaseline"`
+	} `json:"summary"`
+}
+
 func main() {
-	checks := flag.String("c", "", "comma-separated checker names to run (default: all)")
-	list := flag.Bool("list", false, "list available checkers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: veridp-lint [-c checkers] [-list] [packages]\n\nCheckers:\n")
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("veridp-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checkers := fs.String("checkers", "", "comma-separated checker names to run (default: all)")
+	fs.StringVar(checkers, "c", "", "shorthand for -checkers")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON on stdout")
+	baselinePath := fs.String("baseline", "", "baseline file of known findings to tolerate")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
+	list := fs.Bool("list", false, "list available checkers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: veridp-lint [flags] [packages]\n\nExit status: 0 clean, 1 findings, 2 usage/load error.\n\nCheckers:\n")
 		for _, a := range lint.Analyzers {
-			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
-		flag.PrintDefaults()
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.Analyzers {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	analyzers := lint.Analyzers
-	if *checks != "" {
+	if *checkers != "" {
 		analyzers = nil
-		for _, name := range strings.Split(*checks, ",") {
+		for _, name := range strings.Split(*checkers, ",") {
 			a := lint.ByName(strings.TrimSpace(name))
 			if a == nil {
-				fmt.Fprintf(os.Stderr, "veridp-lint: unknown checker %q\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "veridp-lint: unknown checker %q\n", name)
+				return 2
 			}
 			analyzers = append(analyzers, a)
 		}
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "veridp-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "veridp-lint:", err)
+		return 2
 	}
 	pkgs, err := lint.Load(cwd, patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "veridp-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "veridp-lint:", err)
+		return 2
 	}
 
-	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	result := lint.Run(pkgs, analyzers)
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "veridp-lint:", err)
+			return 2
+		}
+		werr := lint.FormatBaseline(f, cwd, result.Diags)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "veridp-lint:", werr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "veridp-lint: wrote %d finding(s) to %s\n", len(result.Diags), *writeBaseline)
+		return 0
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "veridp-lint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+
+	fresh := result.Diags
+	var baselined []lint.Diagnostic
+	stale := 0
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "veridp-lint:", err)
+			return 2
+		}
+		entries, err := lint.ParseBaseline(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "veridp-lint:", err)
+			return 2
+		}
+		fresh, baselined, stale = lint.ApplyBaseline(cwd, fresh, entries)
 	}
+
+	rel := func(d lint.Diagnostic) jsonDiag {
+		file := d.Pos.Filename
+		if r, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(r, "..") {
+			file = filepath.ToSlash(r)
+		}
+		return jsonDiag{Checker: d.Checker, File: file, Line: d.Pos.Line, Column: d.Pos.Column, Message: d.Message}
+	}
+
+	if *jsonOut {
+		out := jsonOutput{
+			Diagnostics: []jsonDiag{},
+			Suppressed:  []jsonDiag{},
+			Baselined:   []jsonDiag{},
+		}
+		for _, d := range fresh {
+			out.Diagnostics = append(out.Diagnostics, rel(d))
+		}
+		for _, d := range result.Suppressed {
+			out.Suppressed = append(out.Suppressed, rel(d))
+		}
+		for _, d := range baselined {
+			out.Baselined = append(out.Baselined, rel(d))
+		}
+		out.Summary.Findings = len(fresh)
+		out.Summary.Suppressed = len(result.Suppressed)
+		out.Summary.Baselined = len(baselined)
+		out.Summary.StaleBaseline = stale
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "veridp-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range fresh {
+			j := rel(d)
+			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", j.File, j.Line, j.Column, j.Message, j.Checker)
+		}
+	}
+
+	summary := fmt.Sprintf("veridp-lint: %d finding(s), %d suppressed, %d baselined",
+		len(fresh), len(result.Suppressed), len(baselined))
+	if stale > 0 {
+		summary += fmt.Sprintf(", %d stale baseline entr(y/ies)", stale)
+	}
+	fmt.Fprintln(stderr, summary)
+	if len(fresh) > 0 {
+		return 1
+	}
+	return 0
 }

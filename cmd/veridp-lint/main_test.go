@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scratch materializes a throwaway module, chdirs into it, and returns
+// its directory. Each file is name → content.
+func scratch(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module scratch\n\ngo 1.22\n"
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+	return dir
+}
+
+// One lockedblock violation: a channel send under a held mutex.
+const violation = `package scratch
+
+import "sync"
+
+type s struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (x *s) f() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ch <- 1
+}
+`
+
+func TestGoldenOutput(t *testing.T) {
+	scratch(t, map[string]string{"main.go": violation})
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"./..."}); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	wantOut := "main.go:13:7: channel send while holding scratch.s.mu [lockedblock]\n"
+	if stdout.String() != wantOut {
+		t.Errorf("stdout = %q, want %q", stdout.String(), wantOut)
+	}
+	wantSummary := "veridp-lint: 1 finding(s), 0 suppressed, 0 baselined\n"
+	if stderr.String() != wantSummary {
+		t.Errorf("stderr = %q, want %q", stderr.String(), wantSummary)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	scratch(t, map[string]string{"main.go": violation})
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"-json", "./..."}); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	var out jsonOutput
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(out.Diagnostics) != 1 || out.Summary.Findings != 1 {
+		t.Fatalf("diagnostics = %+v, want exactly one", out)
+	}
+	d := out.Diagnostics[0]
+	if d.Checker != "lockedblock" || d.File != "main.go" || d.Line != 13 {
+		t.Errorf("diagnostic = %+v, want lockedblock at main.go:13", d)
+	}
+}
+
+func TestCheckerSelection(t *testing.T) {
+	scratch(t, map[string]string{"main.go": violation})
+	var stdout, stderr bytes.Buffer
+	// The violation is a lockedblock finding; running only mutexbyvalue
+	// must come back clean.
+	if code := run(&stdout, &stderr, []string{"-checkers", "mutexbyvalue", "./..."}); code != 0 {
+		t.Errorf("exit = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(&stdout, &stderr, []string{"-c", "lockedblock", "./..."}); code != 1 {
+		t.Errorf("exit = %d, want 1 from the shorthand flag", code)
+	}
+}
+
+func TestUnknownCheckerExit2(t *testing.T) {
+	scratch(t, map[string]string{"main.go": violation})
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"-checkers", "nosuchpass", "./..."}); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown checker") {
+		t.Errorf("stderr = %q, want unknown-checker error", stderr.String())
+	}
+}
+
+func TestLoadErrorExit2(t *testing.T) {
+	scratch(t, map[string]string{"main.go": "package scratch\n\nfunc broken( {\n"})
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"./..."}); code != 2 {
+		t.Errorf("exit = %d, want 2\nstderr: %s", code, stderr.String())
+	}
+}
+
+func TestBaselineWorkflow(t *testing.T) {
+	dir := scratch(t, map[string]string{"main.go": violation})
+
+	// Baseline the existing finding: subsequent runs are clean.
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"-write-baseline", "lint.baseline", "./..."}); code != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(&stdout, &stderr, []string{"-baseline", "lint.baseline", "./..."}); code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0\nstdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "1 baselined") {
+		t.Errorf("stderr = %q, want the baselined count", stderr.String())
+	}
+
+	// A fresh violation in a new file fails the gate again.
+	fresh := strings.ReplaceAll(violation, "type s struct", "type t struct")
+	fresh = strings.ReplaceAll(fresh, "func (x *s)", "func (x *t)")
+	if err := os.WriteFile(filepath.Join(dir, "extra.go"), []byte(fresh), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(&stdout, &stderr, []string{"-baseline", "lint.baseline", "./..."}); code != 1 {
+		t.Fatalf("exit = %d, want 1 on a fresh finding\nstdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "extra.go") {
+		t.Errorf("stdout = %q, want the fresh finding from extra.go", stdout.String())
+	}
+}
+
+func TestSuppressionCounted(t *testing.T) {
+	suppressed := strings.Replace(violation, "\tx.ch <- 1\n",
+		"\t//lint:ignore lockedblock exercising the suppression path\n\tx.ch <- 1\n", 1)
+	scratch(t, map[string]string{"main.go": suppressed})
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"./..."}); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "0 finding(s), 1 suppressed") {
+		t.Errorf("stderr = %q, want the suppression counted in the summary", stderr.String())
+	}
+}
+
+func TestListCheckers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"-list"}); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"lockorder", "lockedblock", "lifecycle", "goleak"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output is missing checker %q", name)
+		}
+	}
+}

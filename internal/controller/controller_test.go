@@ -275,3 +275,87 @@ func TestServerWaitTimeout(t *testing.T) {
 		t.Fatal("timeout did not bound the wait")
 	}
 }
+
+// TestServerConcurrentBarrierAndDump stresses the reply-delivery path
+// under -race: serveConn hands dump results to waiters outside s.mu, so
+// many concurrent Barrier/DumpTable callers against one switch must all
+// complete without deadlocking or racing on the waiter maps.
+func TestServerConcurrentBarrierAndDump(t *testing.T) {
+	srv := NewServer()
+	srv.Timeout = 5 * time.Second
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	raw, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	swc := openflow.NewConn(raw)
+	if err := swc.SendHello(7); err != nil {
+		t.Fatal(err)
+	}
+	rules := []*flowtable.Rule{{ID: 1, Priority: 2, Action: flowtable.ActOutput, OutPort: 3}}
+	go func() {
+		for {
+			m, err := swc.Recv()
+			if err != nil {
+				return
+			}
+			switch m.Type {
+			case openflow.TypeBarrierRequest:
+				if err := swc.SendBarrierReply(m.Xid); err != nil {
+					return
+				}
+			case openflow.TypeTableDumpRequest:
+				reply := &openflow.Message{
+					Type: openflow.TypeTableDumpReply,
+					Xid:  m.Xid,
+					Body: openflow.MarshalTableDump(rules),
+				}
+				if err := swc.Send(reply); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	if err := srv.WaitForSwitches([]topo.SwitchID{7}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if i%2 == 0 {
+					if err := srv.Barrier(7); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				got, err := srv.DumpTable(7)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got) != 1 || got[0].ID != 1 {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -118,14 +118,20 @@ func (s *Server) serveConn(raw net.Conn) {
 		case openflow.TypeTableDumpReply:
 			rules, err := openflow.UnmarshalTableDump(m.Body)
 			s.mu.Lock()
-			if ch, ok := s.dumps[barrierKey{sw, m.Xid}]; ok {
+			ch, ok := s.dumps[barrierKey{sw, m.Xid}]
+			if ok {
+				delete(s.dumps, barrierKey{sw, m.Xid})
+			}
+			s.mu.Unlock()
+			// Deliver outside the lock: deleting the key above made this
+			// goroutine the channel's only sender, and the buffer of 1
+			// guarantees the send cannot park even if the waiter timed out.
+			if ok {
 				if err == nil {
 					ch <- rules
 				}
 				close(ch)
-				delete(s.dumps, barrierKey{sw, m.Xid})
 			}
-			s.mu.Unlock()
 		case openflow.TypeEchoRequest:
 			// A failed echo reply means the channel is dead; drop the
 			// connection rather than let the switch keep believing it is
@@ -212,10 +218,14 @@ func (s *Server) Barrier(sw topo.SwitchID) error {
 		s.mu.Unlock()
 		return err
 	}
+	// A stopped Timer is reclaimed immediately; time.After would pin its
+	// channel until the full Timeout elapses even on the fast path.
+	t := time.NewTimer(s.Timeout)
+	defer t.Stop()
 	select {
 	case <-ch:
 		return nil
-	case <-time.After(s.Timeout):
+	case <-t.C:
 		s.mu.Lock()
 		delete(s.barriers, barrierKey{sw, xid})
 		s.mu.Unlock()
@@ -242,13 +252,15 @@ func (s *Server) DumpTable(sw topo.SwitchID) ([]*flowtable.Rule, error) {
 		s.mu.Unlock()
 		return nil, err
 	}
+	t := time.NewTimer(s.Timeout)
+	defer t.Stop()
 	select {
 	case rules, ok := <-ch:
 		if !ok {
 			return nil, fmt.Errorf("controller: undecodable table dump from switch %d", sw)
 		}
 		return rules, nil
-	case <-time.After(s.Timeout):
+	case <-t.C:
 		s.mu.Lock()
 		delete(s.dumps, barrierKey{sw, xid})
 		s.mu.Unlock()

@@ -131,12 +131,14 @@ func (a *Agent) packetOut(po *openflow.PacketOut) error {
 	}
 	a.Mu.Lock()
 	defer a.Mu.Unlock()
+	//lint:ignore lockedblock Mu is the documented fabric lock: injection must not race FlowMods, and the sim Sink sends UDP best-effort without blocking
 	res, err := a.Fabric.Inject(topo.PortKey{Switch: a.ID, Port: po.Port}, p.Header)
 	if err != nil {
 		return err
 	}
 	if a.Sink != nil {
 		for _, r := range res.Reports {
+			//lint:ignore lockedblock reports ride the fabric-lock contract; the report.Sender sink is a non-blocking UDP datagram write
 			a.Sink.HandleReport(r)
 		}
 	}

@@ -1,0 +1,109 @@
+// Baseline support: a committed file of known findings so CI gates on
+// *new* violations only while the backlog burns down. Entries match on
+// (checker, file, message) — line numbers are deliberately excluded so
+// unrelated edits above a known finding do not break the gate. Matching
+// is multiset: three known findings cover at most three occurrences.
+
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BaselineEntry is one accepted finding.
+type BaselineEntry struct {
+	Checker string
+	File    string // relative to the lint root, forward slashes
+	Message string
+}
+
+func (e BaselineEntry) key() string {
+	return e.Checker + "\t" + e.File + "\t" + e.Message
+}
+
+// ParseBaseline reads entries, one per line, tab-separated as
+// "checker\tfile\tmessage". Blank lines and '#' comments are skipped.
+func ParseBaseline(r io.Reader) ([]BaselineEntry, error) {
+	var entries []BaselineEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("lint: baseline line %d: want checker<TAB>file<TAB>message, got %q", lineno, line)
+		}
+		entries = append(entries, BaselineEntry{Checker: parts[0], File: parts[1], Message: parts[2]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %v", err)
+	}
+	return entries, nil
+}
+
+// FormatBaseline writes diags as a fresh baseline, sorted and with a
+// header documenting the format.
+func FormatBaseline(w io.Writer, root string, diags []Diagnostic) error {
+	lines := make([]string, 0, len(diags))
+	for _, d := range diags {
+		e := entryFor(root, d)
+		lines = append(lines, e.key())
+	}
+	sort.Strings(lines)
+	if _, err := fmt.Fprintf(w, "# veridp-lint baseline: known findings CI tolerates while the backlog\n# burns down. One per line: checker<TAB>file<TAB>message. Regenerate with\n#   go run ./cmd/veridp-lint -write-baseline lint.baseline ./...\n"); err != nil {
+		return err
+	}
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func entryFor(root string, d Diagnostic) BaselineEntry {
+	file := d.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return BaselineEntry{
+		Checker: d.Checker,
+		File:    filepath.ToSlash(file),
+		Message: d.Message,
+	}
+}
+
+// ApplyBaseline splits diags into fresh findings and baselined ones, and
+// reports how many baseline entries no longer match anything (stale —
+// time to shrink the file).
+func ApplyBaseline(root string, diags []Diagnostic, entries []BaselineEntry) (fresh, baselined []Diagnostic, stale int) {
+	budget := make(map[string]int, len(entries))
+	for _, e := range entries {
+		budget[e.key()]++
+	}
+	for _, d := range diags {
+		k := entryFor(root, d).key()
+		if budget[k] > 0 {
+			budget[k]--
+			baselined = append(baselined, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	for _, left := range budget {
+		stale += left
+	}
+	return fresh, baselined, stale
+}

@@ -19,7 +19,6 @@ package lint
 import (
 	"go/ast"
 	"go/token"
-	"go/types"
 )
 
 // GoLeak flags go-func literals that loop on a channel receive with no
@@ -122,57 +121,8 @@ func isReceive(e ast.Expr) bool {
 
 // selectHasEscape reports whether the select has a case that can observe
 // cancellation: a receive from a `*.Done()` call, a receive from
-// `time.After(...)`, or a comma-ok receive.
+// `time.After(...)`, or a comma-ok receive. Shared with the lifecycle
+// checker via selectHasEscapeInfo.
 func selectHasEscape(pass *Pass, sel *ast.SelectStmt) bool {
-	for _, clause := range sel.Body.List {
-		cc, ok := clause.(*ast.CommClause)
-		if !ok || cc.Comm == nil {
-			continue
-		}
-		var recv ast.Expr
-		switch comm := cc.Comm.(type) {
-		case *ast.ExprStmt:
-			recv = comm.X
-		case *ast.AssignStmt:
-			if len(comm.Lhs) == 2 {
-				return true // comma-ok case observes closure
-			}
-			if len(comm.Rhs) == 1 {
-				recv = comm.Rhs[0]
-			}
-		}
-		ue, ok := recv.(*ast.UnaryExpr)
-		if !ok || ue.Op != token.ARROW {
-			continue
-		}
-		if isEscapeChannel(pass, ue.X) {
-			return true
-		}
-	}
-	return false
-}
-
-// isEscapeChannel reports whether the channel expression is a
-// cancellation-shaped source: any `*.Done()` method call (contexts,
-// custom lifecycle structs) or `time.After(...)`.
-func isEscapeChannel(pass *Pass, ch ast.Expr) bool {
-	call, ok := ch.(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	if sel.Sel.Name == "Done" {
-		return true
-	}
-	if sel.Sel.Name == "After" {
-		if obj, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
-			if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "time" {
-				return true
-			}
-		}
-	}
-	return false
+	return selectHasEscapeInfo(pass.Info, sel)
 }

@@ -1,0 +1,274 @@
+// Checker lifecycle: every goroutine that loops on channel operations
+// must have a reachable stop signal. It deepens goleak in two ways, both
+// whole-program: `go f(...)` spawns of *named* functions are followed to
+// their declarations (goleak only sees literals), and `for range ch`
+// loops are only accepted when some loaded package actually closes that
+// channel — a range over a never-closed channel parks the goroutine
+// forever once senders stop.
+//
+// A loop is accepted if it can exit: a return, a break that leaves the
+// loop, a select with a cancellation-shaped case (`<-ctx.Done()`-style,
+// `<-time.After(...)`, or comma-ok), or — for range loops — a close() of
+// the ranged channel class somewhere in the program.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Lifecycle reports goroutine channel loops with no shutdown path.
+var Lifecycle = &Analyzer{
+	Name:   "lifecycle",
+	Doc:    "goroutine channel loops must have a stop signal: ctx.Done()/quit select case, a reachable close, or a return/break",
+	Global: true,
+	Run:    runLifecycle,
+}
+
+func runLifecycle(pass *Pass) {
+	prog := pass.Prog
+	reported := make(map[token.Pos]bool)
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if fl, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+					subst := paramSubst(pkg, gs.Call, pkg, fl.Type)
+					checkSpawnedBody(pass, pkg, fl.Body, gs.Go, subst, reported)
+					return true
+				}
+				for _, callee := range prog.resolveCall(pkg, gs.Call) {
+					if callee.Decl != nil {
+						subst := paramSubst(pkg, gs.Call, callee.Pkg, callee.Decl.Type)
+						checkSpawnedBody(pass, callee.Pkg, callee.Decl.Body, gs.Go, subst, reported)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// paramSubst maps the spawned function's parameter identities to the
+// caller-side identities of the arguments at the spawn site, so a
+// `close(ch)` in the spawner is credited to a `for range ch` over the
+// corresponding parameter in the spawned body.
+func paramSubst(callerPkg *Package, call *ast.CallExpr, calleePkg *Package, ft *ast.FuncType) map[string]string {
+	subst := make(map[string]string)
+	if ft.Params == nil {
+		return subst
+	}
+	i := 0
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if i >= len(call.Args) {
+				return subst
+			}
+			if obj, ok := calleePkg.Info.Defs[name].(*types.Var); ok {
+				if argKey := chanKey(callerPkg, call.Args[i]); argKey != "" {
+					subst[localKey(obj)] = argKey
+				}
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	return subst
+}
+
+// checkSpawnedBody scans one goroutine body for channel loops with no
+// stop path. Nested function literals are skipped — they are separate
+// goroutines (or stored closures) with their own spawn sites.
+func checkSpawnedBody(pass *Pass, pkg *Package, body *ast.BlockStmt, spawn token.Pos, subst map[string]string, reported map[token.Pos]bool) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.RangeStmt:
+			checkRangeLoop(pass, pkg, n, spawn, subst, reported)
+		case *ast.ForStmt:
+			checkForLoop(pass, pkg, n, spawn, reported)
+		}
+		walkChildren(n, walk)
+	}
+	walk(body)
+}
+
+// checkRangeLoop handles `for ... := range ch`: it exits only when ch is
+// closed or the body breaks out.
+func checkRangeLoop(pass *Pass, pkg *Package, loop *ast.RangeStmt, spawn token.Pos, subst map[string]string, reported map[token.Pos]bool) {
+	if !isChanType(typeOf(pkg, loop.X)) || reported[loop.For] {
+		return
+	}
+	if loopCanExit(pkg, loop.Body, false) {
+		return
+	}
+	if key := chanKey(pkg, loop.X); key != "" {
+		if mapped, ok := subst[key]; ok {
+			key = mapped
+		}
+		if pass.Prog.closedChans[key] {
+			return
+		}
+	}
+	reported[loop.For] = true
+	pass.Reportf(loop.For,
+		"goroutine (spawned at %s) ranges over a channel that no loaded package closes and the loop has no return/break — no shutdown path",
+		pass.Prog.shortPos(spawn))
+}
+
+// checkForLoop handles `for { ... }` loops whose body performs channel
+// operations; loops with a real condition terminate on their own.
+func checkForLoop(pass *Pass, pkg *Package, loop *ast.ForStmt, spawn token.Pos, reported map[token.Pos]bool) {
+	if loop.Cond != nil || reported[loop.For] || !hasChanOp(loop.Body) {
+		return
+	}
+	if loopCanExit(pkg, loop.Body, true) {
+		return
+	}
+	reported[loop.For] = true
+	pass.Reportf(loop.For,
+		"goroutine (spawned at %s) loops forever on channel operations with no ctx.Done()/quit select case and no return/break — no shutdown path",
+		pass.Prog.shortPos(spawn))
+}
+
+// hasChanOp reports whether the loop body (excluding nested function
+// literals) performs any channel send, receive, or select.
+func hasChanOp(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if found {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+			return
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+				return
+			}
+		case *ast.RangeStmt:
+			return // nested loops are checked on their own
+		case *ast.ForStmt:
+			return
+		}
+		walkChildren(n, walk)
+	}
+	walk(body)
+	return found
+}
+
+// loopCanExit reports whether the loop body can leave the loop: a
+// return, a break that targets this loop (plain break not swallowed by
+// an inner select/switch/loop, or any labeled break/goto, which always
+// jumps at least this far out), or — when selects count as signals — a
+// select carrying a cancellation-shaped case.
+func loopCanExit(pkg *Package, body *ast.BlockStmt, selectSignals bool) bool {
+	exits := false
+	// depth counts enclosing constructs that capture a plain `break`.
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		if exits {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ReturnStmt:
+			exits = true
+			return
+		case *ast.BranchStmt:
+			switch n.Tok {
+			case token.BREAK:
+				if n.Label != nil || depth == 0 {
+					exits = true
+				}
+			case token.GOTO:
+				exits = true
+			}
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			walkChildren(n, func(c ast.Node) { walk(c, depth+1) })
+			return
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			walkChildren(n, func(c ast.Node) { walk(c, depth+1) })
+			return
+		case *ast.SelectStmt:
+			if selectSignals && selectHasEscapeInfo(pkg.Info, n) {
+				exits = true
+				return
+			}
+			walkChildren(n, func(c ast.Node) { walk(c, depth+1) })
+			return
+		}
+		walkChildren(n, func(c ast.Node) { walk(c, depth) })
+	}
+	walk(body, 0)
+	return exits
+}
+
+// selectHasEscapeInfo is goleak's cancellation-case test, reusable from
+// the whole-program pass (which has no per-package Pass.Info).
+func selectHasEscapeInfo(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = comm.X
+		case *ast.AssignStmt:
+			if len(comm.Lhs) == 2 {
+				return true // comma-ok case observes closure
+			}
+			if len(comm.Rhs) == 1 {
+				recv = comm.Rhs[0]
+			}
+		}
+		ue, ok := recv.(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW {
+			continue
+		}
+		if isEscapeChannelInfo(info, ue.X) {
+			return true
+		}
+	}
+	return false
+}
+
+func isEscapeChannelInfo(info *types.Info, ch ast.Expr) bool {
+	call, ok := ch.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name == "Done" {
+		return true
+	}
+	if sel.Sel.Name == "After" {
+		if obj, ok := info.Uses[sel.Sel].(*types.Func); ok {
+			if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "time" {
+				return true
+			}
+		}
+	}
+	return false
+}

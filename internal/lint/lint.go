@@ -33,12 +33,15 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Checker)
 }
 
-// Pass carries one type-checked package through one analyzer.
+// Pass carries one type-checked package through one analyzer. For
+// whole-program analyzers (Analyzer.Global) the per-package fields are
+// nil and Prog holds the cross-package view instead.
 type Pass struct {
 	Fset  *token.FileSet
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	Prog  *Program
 
 	checker string
 	diags   *[]Diagnostic
@@ -53,11 +56,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
-// Analyzer is one named checker.
+// Analyzer is one named checker. Per-package analyzers get one Pass per
+// package; Global analyzers get a single Pass whose Prog field spans
+// every loaded package (call graph, lockset summaries), which is what
+// the interprocedural checkers need.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name   string
+	Doc    string
+	Global bool
+	Run    func(*Pass)
 }
 
 // Analyzers lists every checker in registration order.
@@ -67,6 +74,9 @@ var Analyzers = []*Analyzer{
 	GoLeak,
 	BDDMix,
 	SouthboundErr,
+	LockOrder,
+	LockedBlock,
+	Lifecycle,
 }
 
 // ByName returns the analyzer registered under name, or nil.
@@ -79,12 +89,35 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
-// Run applies each analyzer to each package and returns the combined
-// findings sorted by file position.
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// Result is one lint run: the findings that stand, and the findings that
+// were silenced by `//lint:ignore` directives (counted, never hidden).
+type Result struct {
+	Diags      []Diagnostic
+	Suppressed []Diagnostic
+}
+
+// Run applies each analyzer to each package (or, for Global analyzers,
+// once to the whole program), filters `//lint:ignore` suppressions, and
+// returns both lists sorted by file position. All packages must share
+// one token.FileSet, which is how Load and CheckFiles build them.
+func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+	var prog *Program
+	for _, a := range analyzers {
+		if a.Global {
+			if prog == nil {
+				prog = BuildProgram(pkgs)
+			}
+			pass := &Pass{
+				Fset:    prog.Fset,
+				Prog:    prog,
+				checker: a.Name,
+				diags:   &diags,
+			}
+			a.Run(pass)
+			continue
+		}
+		for _, pkg := range pkgs {
 			pass := &Pass{
 				Fset:    pkg.Fset,
 				Files:   pkg.Files,
@@ -96,6 +129,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			a.Run(pass)
 		}
 	}
+	kept, suppressed := applyIgnores(pkgs, diags)
+	sortDiags(kept)
+	sortDiags(suppressed)
+	return Result{Diags: kept, Suppressed: suppressed}
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -104,9 +144,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Checker < diags[j].Checker
 	})
-	return diags
 }
 
 // exprChain renders a receiver expression as a dotted identifier chain

@@ -36,7 +36,7 @@ func corpusExports(t *testing.T) map[string]string {
 			return
 		}
 		root := filepath.Dir(strings.TrimSpace(string(out)))
-		exportsMap, _, exportsErr = GoList(root, "./...", "context", "time", "sync")
+		exportsMap, _, exportsErr = GoList(root, "./...", "context", "time", "sync", "net", "io")
 	})
 	if exportsErr != nil {
 		t.Fatalf("building corpus export data: %v", exportsErr)
@@ -58,7 +58,7 @@ func TestCheckerCorpus(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			diags := Run([]*Package{pkg}, []*Analyzer{a})
+			diags := Run([]*Package{pkg}, []*Analyzer{a}).Diags
 
 			type mark struct {
 				file string
@@ -105,6 +105,42 @@ func TestCheckerCorpus(t *testing.T) {
 	}
 }
 
+// TestLockOrderChain pins the diagnostic contract for the seeded ABBA
+// deadlock in the lockorder corpus: the single report must carry the
+// full acquisition chain, i.e. the Lock() sites of *both* functions that
+// traverse the cycle in opposite orders.
+func TestLockOrderChain(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "lockorder", "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("glob: %v %v", files, err)
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, corpusExports(t))
+	pkg, err := CheckFiles(fset, imp, "veridp/lint/corpus/lockorder", files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{LockOrder}).Diags
+	// The ABBA report is anchored at bad.go:20 (the nested b acquisition).
+	var msg string
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) == "bad.go" && d.Pos.Line == 20 {
+			msg = d.Message
+		}
+	}
+	if msg == "" {
+		t.Fatalf("no ABBA diagnostic at bad.go:20 in %v", diags)
+	}
+	for _, site := range []string{
+		"held since bad.go:18", "at bad.go:20", // abThenBa: a locked, then b
+		"held since bad.go:25", "at bad.go:27", // baThenAb: b locked, then a
+	} {
+		if !strings.Contains(msg, site) {
+			t.Errorf("ABBA diagnostic %q is missing lock site %q", msg, site)
+		}
+	}
+}
+
 // TestLoadSelf exercises the production loader end-to-end on this very
 // package: list, build export data, parse, type-check.
 func TestLoadSelf(t *testing.T) {
@@ -120,7 +156,7 @@ func TestLoadSelf(t *testing.T) {
 	if len(pkgs) != 1 || pkgs[0].Types.Name() != "lint" {
 		t.Fatalf("Load returned %+v, want the lint package itself", pkgs)
 	}
-	if diags := Run(pkgs, Analyzers); len(diags) != 0 {
-		t.Fatalf("the linter does not lint clean: %v", diags)
+	if res := Run(pkgs, Analyzers); len(res.Diags) != 0 {
+		t.Fatalf("the linter does not lint clean: %v", res.Diags)
 	}
 }

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The loader's error paths: pattern resolution failures surface the go
+// list error, and CheckFiles distinguishes parse errors, type errors,
+// and missing export data.
+
+func TestLoadMissingDirectory(t *testing.T) {
+	_, err := Load(t.TempDir(), "./no/such/dir")
+	if err == nil {
+		t.Fatal("Load on a nonexistent pattern succeeded")
+	}
+	if !strings.Contains(err.Error(), "go list") {
+		t.Errorf("error %q does not surface the go list failure", err)
+	}
+}
+
+func TestLoadParseError(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("bad.go", "package scratch\n\nfunc broken( {\n")
+	if _, err := Load(dir, "./..."); err == nil {
+		t.Fatal("Load on a module with a syntax error succeeded")
+	}
+}
+
+func TestCheckFilesParseError(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "bad.go")
+	if err := os.WriteFile(name, []byte("package p\n\nfunc broken( {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	_, err := CheckFiles(fset, NewImporter(fset, nil), "p", []string{name})
+	if err == nil {
+		t.Fatal("CheckFiles parsed a file with a syntax error")
+	}
+	if !strings.Contains(err.Error(), "lint:") {
+		t.Errorf("error %q is not wrapped with the lint prefix", err)
+	}
+}
+
+func TestCheckFilesTypeError(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "bad.go")
+	if err := os.WriteFile(name, []byte("package p\n\nvar x undefinedType\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	_, err := CheckFiles(fset, NewImporter(fset, nil), "p", []string{name})
+	if err == nil {
+		t.Fatal("CheckFiles type-checked a file with an undefined type")
+	}
+	if !strings.Contains(err.Error(), "type-checking") {
+		t.Errorf("error %q does not name the type-checking phase", err)
+	}
+}
+
+func TestCheckFilesMissingExportData(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "imports.go")
+	src := "package p\n\nimport \"sync\"\n\nvar mu sync.Mutex\n"
+	if err := os.WriteFile(name, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	// An importer with no export data cannot resolve "sync".
+	_, err := CheckFiles(fset, NewImporter(fset, map[string]string{}), "p", []string{name})
+	if err == nil {
+		t.Fatal("CheckFiles resolved an import with no export data")
+	}
+	if !strings.Contains(err.Error(), "no export data") {
+		t.Errorf("error %q does not surface the missing export data", err)
+	}
+}

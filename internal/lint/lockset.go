@@ -1,0 +1,640 @@
+// Interprocedural lockset dataflow. Each function body is walked once in
+// rough evaluation order, threading an ordered list of held mutexes:
+// Lock/RLock pushes, Unlock/RUnlock pops, `defer mu.Unlock()` keeps the
+// mutex held to the end of the body (which is what the idiom means).
+// Branches run on a clone of the set and merge by union ("may hold"), so
+// the early-exit `if closed { mu.Unlock(); return }` pattern does not
+// poison the fallthrough path. The walk records, per function:
+//
+//   - acquisitions (for the global lock-order graph),
+//   - nested acquisitions (direct lock-order edges),
+//   - blocking operations with the lockset at that point,
+//   - resolved call sites with the lockset at the call.
+//
+// Two fixpoints over the call graph lift this interprocedurally: the set
+// of mutexes a call may transitively acquire (lockorder) and whether a
+// call may transitively block (lockedblock). `go` statements cut both
+// propagations — a spawned goroutine neither blocks its spawner nor
+// nests its acquisitions under the spawner's locks.
+//
+// Mutexes are tracked as program-wide *classes* ("controller.Server.mu",
+// not one instance per Server), the standard lockset abstraction; the
+// analyzers never report same-class self-edges, which would be instance
+// aliasing noise.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockKey identifies a mutex class program-wide.
+type lockKey string
+
+// heldLock is one held mutex with the Lock() site that acquired it.
+type heldLock struct {
+	key lockKey
+	pos token.Pos
+}
+
+// orderEdge records "from was held when to was acquired".
+type orderEdge struct {
+	from, to       lockKey
+	fromPos, toPos token.Pos
+	via            string // "" for direct nesting, else the callee chain
+}
+
+// blockSite is one potentially blocking operation.
+type blockSite struct {
+	pos  token.Pos
+	what string
+	held []heldLock
+}
+
+// callSite is one resolved call with the caller's lockset.
+type callSite struct {
+	pos     token.Pos
+	name    string
+	callees []*FuncNode
+	held    []heldLock
+	spawned bool // `go` statement: callee runs on its own goroutine
+}
+
+// Summary is the per-function lock behavior.
+type Summary struct {
+	acquires map[lockKey]token.Pos
+	edges    []orderEdge
+	blocks   []blockSite
+	calls    []callSite
+}
+
+// acquireInfo is a representative acquisition of a key inside a callee,
+// for interprocedural lock-order diagnostics.
+type acquireInfo struct {
+	pos token.Pos
+	via string
+}
+
+// blockInfo explains why a function may block.
+type blockInfo struct {
+	pos  token.Pos
+	what string
+	via  string
+}
+
+// lockKeyOf classifies the receiver of a Lock/Unlock call, returning ""
+// when the mutex has no stable identity (map elements, call results).
+func lockKeyOf(pkg *Package, owner *FuncNode, e ast.Expr) lockKey {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj, ok := pkg.Info.Uses[e].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return lockKey(obj.Pkg().Path() + "." + obj.Name())
+		}
+		return lockKey(fmt.Sprintf("%s#%s", owner.Name, obj.Name()))
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if named, okNamed := derefNamed(sel.Recv()); okNamed && named.Obj().Pkg() != nil {
+				return lockKey(named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name)
+			}
+			return ""
+		}
+		if obj, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil {
+			return lockKey(obj.Pkg().Path() + "." + obj.Name())
+		}
+	}
+	return ""
+}
+
+// display shortens a lockKey for diagnostics.
+func (k lockKey) display() string { return shortName(string(k)) }
+
+func heldKeys(held []heldLock) string {
+	names := make([]string, len(held))
+	for i, h := range held {
+		names[i] = h.key.display()
+	}
+	return strings.Join(names, ", ")
+}
+
+// walker threads the lockset through one function body.
+type walker struct {
+	prog *Program
+	node *FuncNode
+	held []heldLock
+}
+
+// summarize walks one node's body, filling node.Sum. Function literals
+// encountered inside are registered as fresh nodes (analyzed later with
+// an empty entry lockset) and the walk does not descend into them except
+// to record a call site when the literal is invoked or deferred in place.
+func (p *Program) summarize(node *FuncNode) {
+	node.Sum = &Summary{acquires: make(map[lockKey]token.Pos)}
+	w := &walker{prog: p, node: node}
+	w.walkStmt(node.body())
+}
+
+func (w *walker) sum() *Summary { return w.node.Sum }
+
+func (w *walker) cloneHeld() []heldLock {
+	return append([]heldLock(nil), w.held...)
+}
+
+// mergeHeld unions branch outcomes back into the walker ("may hold").
+func (w *walker) mergeHeld(sets ...[]heldLock) {
+	for _, set := range sets {
+		for _, h := range set {
+			found := false
+			for _, have := range w.held {
+				if have.key == h.key {
+					found = true
+					break
+				}
+			}
+			if !found {
+				w.held = append(w.held, h)
+			}
+		}
+	}
+}
+
+// terminates reports whether a statement list always transfers control
+// out (return, branch, panic) as its last statement.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	}
+	return false
+}
+
+// runBranch walks stmts on a clone of the lockset and returns the
+// resulting set, or nil (excluded from the merge) when the branch always
+// leaves the function/loop.
+func (w *walker) runBranch(stmts []ast.Stmt) []heldLock {
+	saved := w.held
+	w.held = w.cloneHeld()
+	for _, s := range stmts {
+		w.walkStmt(s)
+	}
+	out := w.held
+	w.held = saved
+	if terminates(stmts) {
+		return nil
+	}
+	return out
+}
+
+func (w *walker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, stmt := range s.List {
+			w.walkStmt(stmt)
+		}
+	case *ast.ExprStmt:
+		w.walkExpr(s.X)
+	case *ast.SendStmt:
+		w.walkExpr(s.Chan)
+		w.walkExpr(s.Value)
+		w.block(s.Arrow, "channel send")
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.walkExpr(e)
+		}
+		for _, e := range s.Lhs {
+			w.walkExpr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.walkExpr(e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.walkExpr(e)
+		}
+	case *ast.IncDecStmt:
+		w.walkExpr(s.X)
+	case *ast.GoStmt:
+		w.walkCall(s.Call, true)
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the mutex held for the rest of the
+		// body; any other deferred call is treated as running here.
+		if sel, ok := ast.Unparen(s.Call.Fun).(*ast.SelectorExpr); ok {
+			if name := sel.Sel.Name; name == "Unlock" || name == "RUnlock" {
+				if isMutexType(typeOf(w.node.Pkg, sel.X)) {
+					return
+				}
+			}
+		}
+		w.walkCall(s.Call, false)
+	case *ast.IfStmt:
+		w.walkStmt(s.Init)
+		w.walkExpr(s.Cond)
+		body := w.runBranch(s.Body.List)
+		var alt []heldLock
+		if s.Else != nil {
+			alt = w.runBranch([]ast.Stmt{s.Else})
+		}
+		w.mergeHeld(body, alt)
+	case *ast.ForStmt:
+		w.walkStmt(s.Init)
+		w.walkExpr(s.Cond)
+		stmts := make([]ast.Stmt, 0, len(s.Body.List)+1)
+		stmts = append(stmts, s.Body.List...)
+		if s.Post != nil {
+			stmts = append(stmts, s.Post)
+		}
+		w.mergeHeld(w.runBranch(stmts))
+	case *ast.RangeStmt:
+		w.walkExpr(s.X)
+		if isChanType(typeOf(w.node.Pkg, s.X)) {
+			w.block(s.For, "channel receive (range)")
+		}
+		w.mergeHeld(w.runBranch(s.Body.List))
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init)
+		w.walkExpr(s.Tag)
+		var outs [][]heldLock
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.walkExpr(e)
+			}
+			outs = append(outs, w.runBranch(cc.Body))
+		}
+		w.mergeHeld(outs...)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init)
+		w.walkStmt(s.Assign)
+		var outs [][]heldLock
+		for _, clause := range s.Body.List {
+			outs = append(outs, w.runBranch(clause.(*ast.CaseClause).Body))
+		}
+		w.mergeHeld(outs...)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, clause := range s.Body.List {
+			if clause.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.block(s.Select, "select with no default")
+		}
+		// Case bodies are walked; the communications themselves are not —
+		// the select-level block above already covers them, and walking
+		// them too would double-report one blocked select.
+		var outs [][]heldLock
+		for _, clause := range s.Body.List {
+			outs = append(outs, w.runBranch(clause.(*ast.CommClause).Body))
+		}
+		w.mergeHeld(outs...)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	}
+}
+
+func (w *walker) walkExpr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		w.walkCall(e, false)
+	case *ast.UnaryExpr:
+		w.walkExpr(e.X)
+		if e.Op == token.ARROW {
+			w.block(e.Pos(), "channel receive")
+		}
+	case *ast.FuncLit:
+		w.registerLit(e)
+	case *ast.BinaryExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Y)
+	case *ast.ParenExpr:
+		w.walkExpr(e.X)
+	case *ast.StarExpr:
+		w.walkExpr(e.X)
+	case *ast.SelectorExpr:
+		w.walkExpr(e.X)
+	case *ast.IndexExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Index)
+	case *ast.SliceExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Low)
+		w.walkExpr(e.High)
+		w.walkExpr(e.Max)
+	case *ast.TypeAssertExpr:
+		w.walkExpr(e.X)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			w.walkExpr(elt)
+		}
+	case *ast.KeyValueExpr:
+		w.walkExpr(e.Key)
+		w.walkExpr(e.Value)
+	}
+}
+
+// registerLit queues a function literal as its own analysis root.
+func (w *walker) registerLit(fl *ast.FuncLit) *FuncNode {
+	pos := w.prog.Fset.Position(fl.Pos())
+	node := &FuncNode{
+		Name: fmt.Sprintf("func@%s:%d", shortBase(pos.Filename), pos.Line),
+		Lit:  fl,
+		Pkg:  w.node.Pkg,
+	}
+	w.prog.nodes = append(w.prog.nodes, node)
+	return node
+}
+
+func shortBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// walkCall evaluates a call: receiver/args first, then the mutex ops,
+// intrinsic blockers, and resolved call edges the call implies.
+func (w *walker) walkCall(call *ast.CallExpr, spawned bool) {
+	fun := ast.Unparen(call.Fun)
+	// Evaluate the callee expression (a receiver chain may itself
+	// contain receives or calls) and the arguments.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		w.walkExpr(sel.X)
+	} else if _, isLit := fun.(*ast.FuncLit); !isLit {
+		w.walkExpr(fun)
+	}
+	for _, arg := range call.Args {
+		w.walkExpr(arg)
+	}
+
+	pkg := w.node.Pkg
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		// Mutex operations on sync.Mutex / sync.RWMutex receivers.
+		if recvT := typeOf(pkg, sel.X); recvT != nil && isMutexType(recvT) {
+			key := lockKeyOf(pkg, w.node, sel.X)
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				if key == "" {
+					return
+				}
+				for _, h := range w.held {
+					if h.key != key {
+						w.sum().edges = append(w.sum().edges, orderEdge{
+							from: h.key, to: key, fromPos: h.pos, toPos: call.Pos(),
+						})
+					}
+				}
+				w.held = append(w.held, heldLock{key: key, pos: call.Pos()})
+				if _, seen := w.sum().acquires[key]; !seen {
+					w.sum().acquires[key] = call.Pos()
+				}
+				return
+			case "Unlock", "RUnlock":
+				for i := len(w.held) - 1; i >= 0; i-- {
+					if w.held[i].key == key {
+						w.held = append(w.held[:i], w.held[i+1:]...)
+						break
+					}
+				}
+				return
+			}
+		}
+		// Intrinsically blocking stdlib operations.
+		if what := intrinsicBlock(pkg, sel); what != "" && !spawned {
+			w.block(call.Pos(), what)
+			return
+		}
+		// sync.Cond.Wait releases the lock while parked: not a blocking
+		// op under its own mutex, and not a resolvable call either.
+		if sel.Sel.Name == "Wait" {
+			if _, isCond := isNamed(typeOf(pkg, sel.X), "sync", "Cond"); isCond {
+				return
+			}
+		}
+	}
+
+	// A literal invoked or deferred in place is a direct call edge.
+	if fl, ok := fun.(*ast.FuncLit); ok {
+		node := w.registerLit(fl)
+		w.sum().calls = append(w.sum().calls, callSite{
+			pos: call.Pos(), name: node.Name,
+			callees: []*FuncNode{node}, held: w.cloneHeld(), spawned: spawned,
+		})
+		return
+	}
+
+	callees := w.prog.resolveCall(pkg, call)
+	if len(callees) == 0 && !spawned {
+		return
+	}
+	name := callDisplayName(fun, callees)
+	w.sum().calls = append(w.sum().calls, callSite{
+		pos: call.Pos(), name: name,
+		callees: callees, held: w.cloneHeld(), spawned: spawned,
+	})
+}
+
+func callDisplayName(fun ast.Expr, callees []*FuncNode) string {
+	if len(callees) == 1 {
+		return callees[0].Name
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+func (w *walker) block(pos token.Pos, what string) {
+	w.sum().blocks = append(w.sum().blocks, blockSite{
+		pos: pos, what: what, held: w.cloneHeld(),
+	})
+}
+
+func typeOf(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// intrinsicBlock classifies method/function calls whose bodies we cannot
+// see (stdlib) but which are known to block: time.Sleep, WaitGroup.Wait,
+// network connection I/O, and the io helpers that drive it.
+func intrinsicBlock(pkg *Package, sel *ast.SelectorExpr) string {
+	name := sel.Sel.Name
+	if obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil {
+		switch obj.Pkg().Path() {
+		case "time":
+			if name == "Sleep" {
+				return "time.Sleep"
+			}
+		case "io":
+			switch name {
+			case "Copy", "CopyN", "ReadAll", "ReadFull", "WriteString":
+				return "io." + name
+			}
+		}
+	}
+	recvT := typeOf(pkg, sel.X)
+	if recvT == nil {
+		return ""
+	}
+	if _, ok := isNamed(recvT, "sync", "WaitGroup"); ok && name == "Wait" {
+		return "sync.WaitGroup.Wait"
+	}
+	if isNetConnType(recvT) {
+		switch name {
+		case "Read", "Write", "ReadFrom", "WriteTo",
+			"ReadFromUDP", "WriteToUDP", "ReadFromIP", "WriteToIP",
+			"ReadMsgUDP", "WriteMsgUDP", "Accept", "AcceptTCP":
+			return "net I/O (" + name + ")"
+		}
+	}
+	return ""
+}
+
+// isNetConnType reports whether t is a net connection or listener: one
+// of the concrete net.*Conn types, or any interface/named type declared
+// in package net (net.Conn, net.Listener, net.PacketConn, ...).
+func isNetConnType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "net"
+}
+
+// mayAcquire computes, per function, the mutex classes a call to it may
+// transitively acquire on the caller's goroutine, with a representative
+// acquisition site and callee chain for diagnostics.
+func (p *Program) mayAcquire() map[*FuncNode]map[lockKey]acquireInfo {
+	if p.mayAcquireMemo != nil {
+		return p.mayAcquireMemo
+	}
+	acq := make(map[*FuncNode]map[lockKey]acquireInfo, len(p.nodes))
+	for _, n := range p.nodes {
+		m := make(map[lockKey]acquireInfo, len(n.Sum.acquires))
+		for k, pos := range n.Sum.acquires {
+			m[k] = acquireInfo{pos: pos}
+		}
+		acq[n] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range p.nodes {
+			for _, cs := range n.Sum.calls {
+				if cs.spawned {
+					continue
+				}
+				for _, callee := range cs.callees {
+					for k, info := range acq[callee] {
+						if _, ok := acq[n][k]; ok {
+							continue
+						}
+						via := callee.Name
+						if info.via != "" {
+							via = callee.Name + " → " + info.via
+						}
+						acq[n][k] = acquireInfo{pos: info.pos, via: via}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	p.mayAcquireMemo = acq
+	return acq
+}
+
+// mayBlock computes, per function, whether calling it may block the
+// caller's goroutine, with the root cause chained for diagnostics.
+func (p *Program) mayBlock() map[*FuncNode]*blockInfo {
+	if p.mayBlockMemo != nil {
+		return p.mayBlockMemo
+	}
+	blocks := make(map[*FuncNode]*blockInfo, len(p.nodes))
+	for _, n := range p.nodes {
+		if len(n.Sum.blocks) > 0 {
+			b := n.Sum.blocks[0]
+			blocks[n] = &blockInfo{pos: b.pos, what: b.what}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range p.nodes {
+			if blocks[n] != nil {
+				continue
+			}
+			for _, cs := range n.Sum.calls {
+				if cs.spawned {
+					continue
+				}
+				for _, callee := range cs.callees {
+					if info := blocks[callee]; info != nil {
+						via := callee.Name
+						if info.via != "" {
+							via = callee.Name + " → " + info.via
+						}
+						blocks[n] = &blockInfo{pos: info.pos, what: info.what, via: via}
+						changed = true
+						break
+					}
+				}
+				if blocks[n] != nil {
+					break
+				}
+			}
+		}
+	}
+	p.mayBlockMemo = blocks
+	return blocks
+}
+
+// shortPos renders a position as "file.go:line" for diagnostic messages
+// that must stay stable across checkouts (no absolute paths).
+func (p *Program) shortPos(pos token.Pos) string {
+	position := p.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", shortBase(position.Filename), position.Line)
+}

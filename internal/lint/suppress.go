@@ -1,0 +1,94 @@
+// Suppression directives: `//lint:ignore <checker>[,<checker>...] <reason>`
+// silences matching diagnostics on the directive's own line or on the
+// line directly below it (the staticcheck convention — the comment either
+// trails the offending statement or sits on its own line above it). The
+// reason is mandatory: a suppression is a documented decision, and the
+// CLI surfaces suppressed counts so silenced findings stay visible.
+
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+const ignorePrefix = "//lint:ignore "
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	checkers map[string]bool
+	reason   string
+	file     string
+	line     int
+}
+
+// parseIgnore parses one comment's text, returning nil if it is not a
+// well-formed ignore directive (no checker list or no reason).
+func parseIgnore(text string, pos token.Position) *ignoreDirective {
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+	fields := strings.SplitN(rest, " ", 2)
+	if len(fields) < 2 || strings.TrimSpace(fields[1]) == "" {
+		return nil // a reason is required
+	}
+	d := &ignoreDirective{
+		checkers: make(map[string]bool),
+		reason:   strings.TrimSpace(fields[1]),
+		file:     pos.Filename,
+		line:     pos.Line,
+	}
+	for _, name := range strings.Split(fields[0], ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			d.checkers[name] = true
+		}
+	}
+	if len(d.checkers) == 0 {
+		return nil
+	}
+	return d
+}
+
+// collectIgnores scans every file of every package for directives.
+func collectIgnores(pkgs []*Package) []*ignoreDirective {
+	var dirs []*ignoreDirective
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if d := parseIgnore(c.Text, pkg.Fset.Position(c.Pos())); d != nil {
+						dirs = append(dirs, d)
+					}
+				}
+			}
+		}
+	}
+	return dirs
+}
+
+// applyIgnores splits diags into kept and suppressed. A diagnostic is
+// suppressed when a directive naming its checker sits on the same line
+// or the line immediately above it in the same file.
+func applyIgnores(pkgs []*Package, diags []Diagnostic) (kept, suppressed []Diagnostic) {
+	type key struct {
+		file    string
+		line    int
+		checker string
+	}
+	covered := make(map[key]bool)
+	for _, d := range collectIgnores(pkgs) {
+		for name := range d.checkers {
+			covered[key{d.file, d.line, name}] = true
+			covered[key{d.file, d.line + 1, name}] = true
+		}
+	}
+	for _, d := range diags {
+		if covered[key{d.Pos.Filename, d.Pos.Line, d.Checker}] {
+			suppressed = append(suppressed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	return kept, suppressed
+}

@@ -1,0 +1,55 @@
+// Known-bad corpus for the lifecycle checker: goroutines that loop on
+// channel operations with no reachable stop signal — a literal receive
+// loop, a named function (followed through the spawn) ranging over a
+// channel no loaded package closes, and a select loop whose only break
+// is swallowed by the select itself.
+
+package lifecycle
+
+import "time"
+
+type pump struct {
+	in   chan int
+	tick chan time.Time
+	out  []int
+}
+
+// The literal loops on a receive forever: no select escape case, no
+// return, no break.
+func (p *pump) spawnRecvLoop() {
+	go func() {
+		for { // want "loops forever on channel operations"
+			v := <-p.in
+			p.out = append(p.out, v)
+		}
+	}()
+}
+
+// The spawn is followed to the named drain method, whose range can only
+// exit when p.in is closed — and nothing in the program closes it.
+func (p *pump) startDrain() {
+	go p.drain()
+}
+
+func (p *pump) drain() {
+	for v := range p.in { // want "ranges over a channel"
+		p.out = append(p.out, v)
+	}
+}
+
+// The break leaves the select, not the for — there is still no way out
+// of the loop, and neither channel is a cancellation signal.
+func (p *pump) spawnSelectLoop() {
+	go func() {
+		for { // want "loops forever on channel operations"
+			select {
+			case v := <-p.in:
+				if v < 0 {
+					break
+				}
+				p.out = append(p.out, v)
+			case <-p.tick:
+			}
+		}
+	}()
+}

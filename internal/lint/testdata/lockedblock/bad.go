@@ -1,0 +1,93 @@
+// Known-bad corpus for the lockedblock checker: every intrinsic blocking
+// class performed under a held mutex, plus two interprocedural cases —
+// a blocking operation two static calls away and one hidden behind an
+// interface dispatch.
+
+package lockedblock
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type queue struct {
+	mu   sync.Mutex
+	ch   chan int
+	done chan struct{}
+	wg   sync.WaitGroup
+	conn net.Conn
+}
+
+func (q *queue) sendLocked(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v // want "channel send while holding"
+}
+
+func (q *queue) recvLocked() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want "channel receive while holding"
+}
+
+func (q *queue) sleepLocked() {
+	q.mu.Lock()
+	time.Sleep(time.Second) // want "time.Sleep while holding"
+	q.mu.Unlock()
+}
+
+func (q *queue) waitLocked() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.wg.Wait() // want "sync.WaitGroup.Wait while holding"
+}
+
+func (q *queue) writeLocked(b []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.conn.Write(b) // want "net I/O (Write) while holding"
+}
+
+func (q *queue) selectLocked() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want "select with no default while holding"
+	case v := <-q.ch:
+		return v, true
+	case <-q.done:
+		return 0, false
+	}
+}
+
+// flush holds the lock across push, which only reaches a channel send
+// two static calls down — the report lands on the locked call site with
+// the root cause chained in the message.
+func (q *queue) flush(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.push(v) // want "may block"
+}
+
+func (q *queue) push(v int) { q.forward(v) }
+
+func (q *queue) forward(v int) { q.ch <- v }
+
+// broadcast dispatches through an interface; the only loaded
+// implementation sends on a channel, so the locked call may block.
+type sink interface{ publish(int) }
+
+type chanSink struct{ out chan int }
+
+func (c *chanSink) publish(v int) { c.out <- v }
+
+type server struct {
+	mu sync.Mutex
+	s  sink
+}
+
+func (s *server) broadcast(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.s.publish(v) // want "may block"
+}

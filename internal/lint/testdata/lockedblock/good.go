@@ -1,0 +1,94 @@
+// Known-good corpus for the lockedblock checker: blocking operations
+// performed after release, non-blocking selects, sync.Cond.Wait (which
+// releases the lock while parked), close() under lock, goroutine spawns
+// under lock, and locked calls to helpers that never block.
+
+package lockedblock
+
+import "sync"
+
+type worker struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	out    chan int
+	quit   chan struct{}
+	q      []int
+	closed bool
+}
+
+// Mutate under the lock, send after release.
+func (w *worker) sendAfterUnlock(v int) {
+	w.mu.Lock()
+	w.q = append(w.q, v)
+	w.mu.Unlock()
+	w.out <- v
+}
+
+// The early-exit branch releases and returns; the fallthrough send also
+// happens after release.
+func (w *worker) sendUnlessClosed(v int) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.q = append(w.q, v)
+	w.mu.Unlock()
+	w.out <- v
+}
+
+// A select with a default never parks, even under the lock.
+func (w *worker) trySend(v int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	select {
+	case w.out <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Cond.Wait releases the mutex while parked — the canonical reason it
+// exists — so it is not a blocking operation under its own lock.
+func (w *worker) waitForWork() int {
+	w.mu.Lock()
+	for len(w.q) == 0 {
+		w.cond.Wait()
+	}
+	v := w.q[0]
+	w.q = w.q[1:]
+	w.mu.Unlock()
+	return v
+}
+
+// close() never blocks.
+func (w *worker) shutdown() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	close(w.quit)
+}
+
+// Spawning under the lock is fine: the goroutine blocks itself, not the
+// lock holder.
+func (w *worker) spawnDrain() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	go w.drain()
+}
+
+func (w *worker) drain() {
+	for v := range w.out {
+		_ = v
+	}
+}
+
+// A locked call to a helper that never blocks is fine.
+func (w *worker) bump() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.grow()
+}
+
+func (w *worker) grow() { w.q = append(w.q, 0) }

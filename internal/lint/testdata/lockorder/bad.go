@@ -1,0 +1,58 @@
+// Known-bad corpus for the lockorder checker: a direct two-mutex ABBA
+// deadlock and an interprocedural cycle where each nested acquisition
+// hides one call deep. Each cycle is reported once, at its earliest
+// nested acquisition, with every Lock site in the message.
+
+package lockorder
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// abThenBa and baThenAb acquire the same two mutexes in opposite orders:
+// two goroutines running them concurrently deadlock.
+func (p *pair) abThenBa() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want "lock order cycle"
+	defer p.b.Unlock()
+}
+
+func (p *pair) baThenAb() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	defer p.a.Unlock()
+}
+
+type svc struct{ mu sync.Mutex }
+
+type conn struct{ wmu sync.Mutex }
+
+// flush holds svc.mu while send acquires conn.wmu; redial holds
+// conn.wmu while reset acquires svc.mu — the same ABBA, one call deep
+// on each side.
+func (s *svc) flush(c *conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.send() // want "lock order cycle"
+}
+
+func (c *conn) send() {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+}
+
+func (c *conn) redial(s *svc) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	s.reset()
+}
+
+func (s *svc) reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}

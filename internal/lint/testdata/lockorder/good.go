@@ -1,0 +1,71 @@
+// Known-good corpus for the lockorder checker: a consistent global
+// acquisition order (a before b everywhere, directly or through calls),
+// sequential non-nested locking, and the early-exit unlock pattern must
+// all stay silent.
+
+package lockorder
+
+import "sync"
+
+type ordered struct {
+	a sync.Mutex
+	b sync.Mutex
+
+	closed  bool
+	pending int
+}
+
+// Both writers nest b under a — same order, no cycle.
+func (o *ordered) writeBoth() {
+	o.a.Lock()
+	defer o.a.Unlock()
+	o.b.Lock()
+	defer o.b.Unlock()
+	o.pending++
+}
+
+func (o *ordered) drainBoth() {
+	o.a.Lock()
+	defer o.a.Unlock()
+	o.b.Lock()
+	defer o.b.Unlock()
+	o.pending = 0
+}
+
+// Sequential locking never nests: no edge in either direction.
+func (o *ordered) sequential() {
+	o.b.Lock()
+	o.pending++
+	o.b.Unlock()
+	o.a.Lock()
+	o.closed = true
+	o.a.Unlock()
+}
+
+// The early-exit branch releases and returns; the fallthrough path's
+// nested acquisition still follows the global a-then-b order.
+func (o *ordered) earlyExit() {
+	o.a.Lock()
+	if o.closed {
+		o.a.Unlock()
+		return
+	}
+	o.b.Lock()
+	o.pending++
+	o.b.Unlock()
+	o.a.Unlock()
+}
+
+// Nesting through a call in the same a-then-b direction as everyone
+// else.
+func (o *ordered) nestedViaCall() {
+	o.a.Lock()
+	defer o.a.Unlock()
+	o.bumpB()
+}
+
+func (o *ordered) bumpB() {
+	o.b.Lock()
+	defer o.b.Unlock()
+	o.pending++
+}

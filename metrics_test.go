@@ -4,6 +4,7 @@ import (
 	"io"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -51,5 +52,45 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
 		t.Fatalf("content type %q", ct)
+	}
+}
+
+// TestMetricsConcurrentWithVerification pins the WriteMetrics contract
+// under -race: the exposition write happens after the monitor lock is
+// released, so scraping and verification interleave freely instead of a
+// slow writer stalling HandleReport.
+func TestMetricsConcurrentWithVerification(t *testing.T) {
+	em, _ := buildFigure5(t)
+	mon := em.NewMonitor(MonitorConfig{})
+	h := Header{SrcIP: MustParseIP("10.0.1.1"), DstIP: MustParseIP("10.0.2.1"), Proto: 6, DstPort: 80}
+	res, err := em.Fabric.InjectFromHost("H1", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Reports[0]
+	base, _ := mon.Stats() // the injection above already reported once
+
+	const workers, iters = 4, 50
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				mon.HandleReport(rep)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				if err := mon.WriteMetrics(io.Discard); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if verified, violated := mon.Stats(); verified != base+workers*iters || violated != 0 {
+		t.Fatalf("stats = (%d, %d), want (%d, 0)", verified, violated, base+workers*iters)
 	}
 }

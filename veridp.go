@@ -263,7 +263,6 @@ func (m *Monitor) PathTable() *core.PathTable { return m.table }
 // localizations by blamed switch, and path-table gauges.
 func (m *Monitor) WriteMetrics(w io.Writer) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	st := m.table.Stats()
 	var b strings.Builder
 	fmt.Fprintf(&b, "# TYPE veridp_reports_verified_total counter\n")
@@ -296,6 +295,9 @@ func (m *Monitor) WriteMetrics(w io.Writer) error {
 	fmt.Fprintf(&b, "veridp_path_table_pairs %d\n", st.Pairs)
 	fmt.Fprintf(&b, "# TYPE veridp_path_table_paths gauge\n")
 	fmt.Fprintf(&b, "veridp_path_table_paths %d\n", st.Paths)
+	m.mu.Unlock()
+	// The write happens after release: w is typically a network-backed
+	// ResponseWriter, and a slow scraper must not stall verification.
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -315,10 +317,16 @@ type RuleInstaller = core.RuleInstaller
 // future-work item (2), automatic flow-table repair. It returns the blamed
 // switch.
 func (m *Monitor) Repair(r *Report, inst RuleInstaller) (SwitchID, error) {
+	// Plan under the lock (it reads the path table), push the FlowMods
+	// outside it: the installer may write to a real southbound channel,
+	// and one stuck switch must not wedge verification for all the others.
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	plan, err := m.table.Repair(r, inst)
+	plan, err := m.table.PlanRepair(r)
+	m.mu.Unlock()
 	if err != nil {
+		return 0, err
+	}
+	if err := plan.Apply(inst); err != nil {
 		return 0, err
 	}
 	return plan.Switch, nil
