@@ -4,7 +4,14 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt lint race check
+# Per-target budget for `make fuzz`. CI smoke runs keep the default;
+# a local soak can say `make fuzz FUZZTIME=5m`.
+FUZZTIME ?= 10s
+
+# Packages with Fuzz* targets and committed seed corpora.
+FUZZ_PKGS = ./internal/openflow ./internal/packet ./internal/pcap
+
+.PHONY: build test vet fmt lint race fuzz check
 
 build:
 	$(GO) build ./...
@@ -26,5 +33,17 @@ lint:
 
 race:
 	$(GO) test -race ./...
+
+# Short fuzzing pass over every Fuzz* target. `go test -fuzz` accepts a
+# regex that must match exactly one target, so enumerate with -list and
+# run them one at a time.
+fuzz:
+	@set -e; \
+	for pkg in $(FUZZ_PKGS); do \
+		for target in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
+			echo "fuzz $$pkg $$target ($(FUZZTIME))"; \
+			$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg; \
+		done; \
+	done
 
 check: vet fmt lint race

@@ -8,6 +8,14 @@
 // 1 fresh findings, 2 usage or load failure. Test files are not linted —
 // `go vet` and `go test -race` cover those.
 //
+// The baseline-maintenance modes step outside the gate contract:
+// -write-baseline and -prune-baseline rewrite the named file and exit 0
+// on success even when findings remain (2 on load or write failure,
+// never 1) — they are maintenance commands, not gates, so a baseline
+// refresh in a dirty tree does not fail the build that performs it.
+// -prune-baseline drops entries no longer matched by any current finding
+// (the entries ApplyBaseline would count as stale) and keeps the rest.
+//
 // Findings silenced by `//lint:ignore <checker> <reason>` comments and
 // findings matched by the baseline are counted in the summary rather
 // than silently dropped; `-json` emits the full machine-readable result.
@@ -57,6 +65,7 @@ func run(stdout, stderr io.Writer, args []string) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON on stdout")
 	baselinePath := fs.String("baseline", "", "baseline file of known findings to tolerate")
 	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
+	pruneBaseline := fs.String("prune-baseline", "", "rewrite this baseline file dropping entries no longer reported, and exit 0")
 	list := fs.Bool("list", false, "list available checkers and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: veridp-lint [flags] [packages]\n\nExit status: 0 clean, 1 findings, 2 usage/load error.\n\nCheckers:\n")
@@ -122,6 +131,36 @@ func run(stdout, stderr io.Writer, args []string) int {
 			return 2
 		}
 		fmt.Fprintf(stderr, "veridp-lint: wrote %d finding(s) to %s\n", len(result.Diags), *writeBaseline)
+		return 0
+	}
+
+	if *pruneBaseline != "" {
+		f, err := os.Open(*pruneBaseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "veridp-lint:", err)
+			return 2
+		}
+		entries, err := lint.ParseBaseline(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "veridp-lint:", err)
+			return 2
+		}
+		kept, dropped := lint.PruneBaseline(cwd, result.Diags, entries)
+		out, err := os.Create(*pruneBaseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "veridp-lint:", err)
+			return 2
+		}
+		werr := lint.WriteBaselineEntries(out, kept)
+		if cerr := out.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "veridp-lint:", werr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "veridp-lint: pruned %s: kept %d entr(y/ies), dropped %d\n", *pruneBaseline, len(kept), dropped)
 		return 0
 	}
 

@@ -143,6 +143,62 @@ func TestBaselineWorkflow(t *testing.T) {
 	}
 }
 
+func TestPruneBaselineGolden(t *testing.T) {
+	dir := scratch(t, map[string]string{"main.go": violation})
+
+	// Baseline the finding, then add a stale hand-written entry for a
+	// violation that does not exist. The gate tolerates stale entries
+	// (they are only counted), but -prune-baseline must drop them.
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"-write-baseline", "lint.baseline", "./..."}); code != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	path := filepath.Join(dir, "lint.baseline")
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := "lockedblock\tgone.go\tchannel send while holding scratch.old.mu\n"
+	if err := os.WriteFile(path, append(before, stale...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(&stdout, &stderr, []string{"-prune-baseline", "lint.baseline", "./..."}); code != 0 {
+		t.Fatalf("prune-baseline exit = %d, want 0 even with findings present\nstderr: %s", code, stderr.String())
+	}
+	if got, want := stderr.String(), "veridp-lint: pruned lint.baseline: kept 1 entr(y/ies), dropped 1\n"; got != want {
+		t.Errorf("stderr = %q, want %q", got, want)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The surviving file is byte-identical to the pre-tamper baseline:
+	// header plus the one live entry, stale line gone.
+	if !bytes.Equal(after, before) {
+		t.Errorf("pruned baseline = %q, want the original %q", after, before)
+	}
+
+	// Pruning an already-clean baseline is a no-op that still exits 0.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(&stdout, &stderr, []string{"-prune-baseline", "lint.baseline", "./..."}); code != 0 {
+		t.Fatalf("idempotent prune exit = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "kept 1 entr(y/ies), dropped 0") {
+		t.Errorf("stderr = %q, want a dropped-0 no-op", stderr.String())
+	}
+
+	// A missing baseline file is a load failure: exit 2, not 0 or 1.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(&stdout, &stderr, []string{"-prune-baseline", "nosuch.baseline", "./..."}); code != 2 {
+		t.Errorf("prune of missing file exit = %d, want 2", code)
+	}
+}
+
 func TestSuppressionCounted(t *testing.T) {
 	suppressed := strings.Replace(violation, "\tx.ch <- 1\n",
 		"\t//lint:ignore lockedblock exercising the suppression path\n\tx.ch <- 1\n", 1)

@@ -54,9 +54,18 @@ func ParseBaseline(r io.Reader) ([]BaselineEntry, error) {
 // FormatBaseline writes diags as a fresh baseline, sorted and with a
 // header documenting the format.
 func FormatBaseline(w io.Writer, root string, diags []Diagnostic) error {
-	lines := make([]string, 0, len(diags))
+	entries := make([]BaselineEntry, 0, len(diags))
 	for _, d := range diags {
-		e := entryFor(root, d)
+		entries = append(entries, entryFor(root, d))
+	}
+	return WriteBaselineEntries(w, entries)
+}
+
+// WriteBaselineEntries writes entries in the committed baseline format,
+// sorted and with the explanatory header.
+func WriteBaselineEntries(w io.Writer, entries []BaselineEntry) error {
+	lines := make([]string, 0, len(entries))
+	for _, e := range entries {
 		lines = append(lines, e.key())
 	}
 	sort.Strings(lines)
@@ -69,6 +78,27 @@ func FormatBaseline(w io.Writer, root string, diags []Diagnostic) error {
 		}
 	}
 	return nil
+}
+
+// PruneBaseline returns the entries still matched by at least one current
+// diagnostic, multiset-style: an entry listed N times survives at most as
+// many times as the finding still occurs. The dropped count is what a
+// fixed finding leaves behind — the stale entries ApplyBaseline reports.
+func PruneBaseline(root string, diags []Diagnostic, entries []BaselineEntry) (kept []BaselineEntry, dropped int) {
+	occur := make(map[string]int, len(diags))
+	for _, d := range diags {
+		occur[entryFor(root, d).key()]++
+	}
+	for _, e := range entries {
+		k := e.key()
+		if occur[k] > 0 {
+			occur[k]--
+			kept = append(kept, e)
+		} else {
+			dropped++
+		}
+	}
+	return kept, dropped
 }
 
 func entryFor(root string, d Diagnostic) BaselineEntry {

@@ -1,0 +1,134 @@
+// Checker enumswitch: exhaustiveness of switches over module-local enum
+// types. The protocol grows by appending constants — a new openflow
+// MsgType, a new fault Kind, a new flowtable instruction — and every
+// switch over one of those sets that neither covers all constants nor
+// carries an explicit default silently drops the new arm at runtime
+// (a dataplane agent that ignores a message type it was just sent is
+// exactly the control-data gap VeriDP exists to detect, created by the
+// monitor itself). The contract: a switch over a module-declared integer
+// enum type must either enumerate every declared constant of that type
+// or say `default:` out loud.
+//
+// Only module-local enums are checked (the defining package shares the
+// module's first import-path segment): stdlib enums like time.Month are
+// open sets we don't own. Switches with any non-constant case expression
+// are skipped — the checker cannot reason about them.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EnumSwitch reports switches over declared enum constant sets that are
+// neither exhaustive nor defaulted.
+var EnumSwitch = &Analyzer{
+	Name:   "enumswitch",
+	Doc:    "switches over module-local enum types must cover every declared constant or carry an explicit default",
+	Global: true,
+	Run:    runEnumSwitch,
+}
+
+func runEnumSwitch(pass *Pass) {
+	for _, pkg := range pass.Prog.Pkgs {
+		localSeg := firstPathSegment(pkg.ImportPath)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				checkEnumSwitch(pass, pkg, localSeg, sw)
+				return true
+			})
+		}
+	}
+}
+
+func checkEnumSwitch(pass *Pass, pkg *Package, localSeg string, sw *ast.SwitchStmt) {
+	tagT := typeOf(pkg, sw.Tag)
+	if tagT == nil {
+		return
+	}
+	named, ok := tagT.(*types.Named)
+	if !ok {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	// Only enums this module declares: stdlib/other-module constant sets
+	// are open and not ours to police.
+	if firstPathSegment(obj.Pkg().Path()) != localSeg {
+		return
+	}
+
+	// The declared constant set: every package-level constant of exactly
+	// this named type. Fewer than two constants is not an enum.
+	declared := make(map[string]string) // constant value -> name
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		val := c.Val().ExactString()
+		// Aliases for one value (e.g. a Max/sentinel naming an existing
+		// constant) count once; keep the first name seen.
+		if _, dup := declared[val]; !dup {
+			declared[val] = name
+		}
+	}
+	if len(declared) < 2 {
+		return
+	}
+
+	covered := make(map[string]bool)
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: contract satisfied
+		}
+		for _, e := range cc.List {
+			tv, ok := pkg.Info.Types[e]
+			if !ok || tv.Value == nil {
+				return // non-constant case: can't reason, stay silent
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+
+	var missing []string
+	for val, name := range declared {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(),
+		"switch on %s.%s is not exhaustive and has no default: missing %s",
+		obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", "))
+}
+
+// firstPathSegment returns the leading element of an import path, the
+// module-identity approximation used to separate our enums from others'.
+func firstPathSegment(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

@@ -77,6 +77,8 @@ var Analyzers = []*Analyzer{
 	LockOrder,
 	LockedBlock,
 	Lifecycle,
+	WireTaint,
+	EnumSwitch,
 }
 
 // ByName returns the analyzer registered under name, or nil.

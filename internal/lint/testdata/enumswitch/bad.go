@@ -1,0 +1,32 @@
+// Known-bad corpus for enumswitch: switches over a module-declared enum
+// type that neither cover every constant nor carry a default.
+package corpus
+
+// Kind is a three-valued protocol enum.
+type Kind int
+
+const (
+	KindA Kind = iota + 1
+	KindB
+	KindC
+)
+
+// name drops KindC on the floor with no default arm.
+func name(k Kind) string {
+	switch k { // want "missing KindC"
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	}
+	return "?"
+}
+
+// rank misses two constants; both must be named, sorted.
+func rank(k Kind) int {
+	switch k { // want "missing KindB, KindC"
+	case KindA:
+		return 0
+	}
+	return -1
+}

@@ -1,0 +1,74 @@
+// Known-good corpus for enumswitch: exhaustive coverage, explicit
+// defaults, and the shapes the checker must stay silent on.
+package corpus
+
+// Mode is a two-valued enum.
+type Mode int
+
+const (
+	ModeX Mode = iota
+	ModeY
+)
+
+// modeName covers every declared constant.
+func modeName(m Mode) string {
+	switch m {
+	case ModeX:
+		return "x"
+	case ModeY:
+		return "y"
+	}
+	return "?"
+}
+
+// modeDefault says default out loud, which always satisfies the contract.
+func modeDefault(m Mode) string {
+	switch m {
+	case ModeX:
+		return "x"
+	default:
+		return "other"
+	}
+}
+
+// combined covers constants in one multi-value case clause.
+func combined(k Kind) bool {
+	switch k {
+	case KindA, KindB, KindC:
+		return true
+	}
+	return false
+}
+
+// Single has one constant: not an enum, no exhaustiveness contract.
+type Single int
+
+// OnlyOne is the sole Single value.
+const OnlyOne Single = 1
+
+func singleName(s Single) string {
+	switch s {
+	case OnlyOne:
+		return "one"
+	}
+	return "?"
+}
+
+// plainInt switches on an unnamed type: no declared constant set.
+func plainInt(v int) string {
+	switch v {
+	case 1:
+		return "one"
+	}
+	return "?"
+}
+
+// nonConst has a non-constant case expression: the checker cannot reason
+// about coverage and stays silent.
+func nonConst(m, dynamic Mode) string {
+	switch m {
+	case dynamic:
+		return "dyn"
+	}
+	return "?"
+}

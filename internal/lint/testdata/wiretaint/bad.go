@@ -1,0 +1,92 @@
+// Known-bad corpus for wiretaint: wire-derived lengths and offsets
+// reaching sinks without a dominating bounds check. Every marked line
+// must produce exactly one diagnostic containing the quoted substring.
+package corpus
+
+import (
+	"io"
+	"net"
+)
+
+// decodeHeader is decode-shaped, so b is wire input; indexing it with no
+// length check is the truncated-frame panic class.
+func decodeHeader(b []byte) int {
+	return int(b[6]) // want "no length check"
+}
+
+// parseCount length-checks the accesses but allocates with an unchecked
+// wire-derived size: a hostile 0xffff count exhausts memory.
+func parseCount(b []byte) []int {
+	if len(b) < 8 {
+		return nil
+	}
+	n := int(b[0])<<8 | int(b[1])
+	return make([]int, n) // want "allocation size"
+}
+
+// parseItems iterates under an unchecked wire-derived bound.
+func parseItems(b []byte) int {
+	if len(b) < 2 {
+		return 0
+	}
+	n := int(b[1])
+	sum := 0
+	for i := 0; i < n; i++ { // want "loop bound"
+		sum += i
+	}
+	return sum
+}
+
+// parseAt uses a wire byte to index an unrelated table.
+func parseAt(b []byte, table []string) string {
+	if len(b) < 1 {
+		return ""
+	}
+	return table[b[0]] // want "index"
+}
+
+// alloc reaches make with its parameter: a sink summary every caller
+// holding tainted n inherits.
+func alloc(n int) []byte {
+	return make([]byte, n)
+}
+
+// recvAndAlloc reads a length off the network and hands it to alloc
+// without bounding it first — the interprocedural value-sink case.
+func recvAndAlloc(c net.Conn) ([]byte, error) {
+	hdr := make([]byte, 2)
+	if _, err := io.ReadFull(c, hdr); err != nil {
+		return nil, err
+	}
+	n := int(hdr[0])<<8 | int(hdr[1])
+	return alloc(n), nil // want "passed to wiretaint.alloc"
+}
+
+// decodeLen introduces the taint (its parameter is wire input by name
+// contract) and returns it; the sink fires in the caller below.
+func decodeLen(b []byte) int {
+	if len(b) < 4 {
+		return 0
+	}
+	return int(b[2])<<8 | int(b[3])
+}
+
+// buildFromPeer reslices with a bound whose taint was introduced inside
+// the callee — the interprocedural taint-from-callee case.
+func buildFromPeer(b []byte, pool []byte) []byte {
+	n := decodeLen(b)
+	return pool[:n] // want "slice bound"
+}
+
+// third indexes a fixed offset without checking; callers must pin the
+// length first. The param-only taint stays symbolic here (no diagnostic
+// on this function) and surfaces at the unchecked call site below.
+func third(b []byte) byte {
+	return b[2]
+}
+
+// decodeTail forwards unchecked wire bytes into third — the
+// interprocedural access-sink case.
+func decodeTail(b []byte) byte {
+	return third(b) // want "passed to wiretaint.third"
+}

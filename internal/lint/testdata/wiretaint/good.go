@@ -1,0 +1,80 @@
+// Known-good corpus for wiretaint: the same shapes as bad.go with the
+// sanitizers the checker must honor. Any diagnostic in this file is a
+// test failure.
+package corpus
+
+import (
+	"io"
+	"net"
+)
+
+// decodeChecked guards the length before the access.
+func decodeChecked(b []byte) int {
+	if len(b) < 8 {
+		return -1
+	}
+	return int(b[6])
+}
+
+// decodeAlloc bounds the wire-derived size against the real input length
+// before allocating — the dominant sanitizer shape in the repo.
+func decodeAlloc(b []byte) []byte {
+	if len(b) < 2 {
+		return nil
+	}
+	n := int(b[0])<<8 | int(b[1])
+	if n > len(b) {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b[2:])
+	return out
+}
+
+// recvBounded clamps the announced length against a named constant
+// before allocating the body — the transport Recv shape.
+func recvBounded(c net.Conn) ([]byte, error) {
+	const maxFrame = 1024
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(c, hdr); err != nil {
+		return nil, err
+	}
+	n := int(hdr[0])<<8 | int(hdr[1])
+	if n <= 0 || n > maxFrame {
+		return nil, io.ErrUnexpectedEOF
+	}
+	body := make([]byte, n)
+	_, err := io.ReadFull(c, body)
+	return body, err
+}
+
+// parseSum ranges over the wire bytes: range is bounded by construction
+// and needs no explicit length check.
+func parseSum(b []byte) int {
+	sum := 0
+	for _, v := range b {
+		sum += int(v)
+	}
+	return sum
+}
+
+// sliceThird has an access-kind parameter sink, like bad.go's third.
+func sliceThird(b []byte) byte { return b[2] }
+
+// useThirdChecked pins the length before the call, satisfying the
+// callee's access sink.
+func useThirdChecked(b []byte) byte {
+	if len(b) < 3 {
+		return 0
+	}
+	return sliceThird(b)
+}
+
+// loopToLen iterates to len(b): the bound is ground truth, not taint.
+func loopToLen(b []byte) int {
+	sum := 0
+	for i := 0; i < len(b); i++ {
+		sum += int(b[i])
+	}
+	return sum
+}

@@ -155,7 +155,10 @@ func marshalRewrite(rw *header.Rewrite, b []byte) {
 // unmarshalRewrite decodes set-field actions (nil when no defined flag is
 // set). Value bytes under clear flags are ignored rather than copied, so a
 // decoded rewrite always re-marshals to identical bytes.
-func unmarshalRewrite(b []byte) *header.Rewrite {
+func unmarshalRewrite(b []byte) (*header.Rewrite, error) {
+	if len(b) < rewriteLen {
+		return nil, fmt.Errorf("openflow: rewrite truncated (%d bytes, want %d)", len(b), rewriteLen)
+	}
 	flags := b[0]
 	rw := &header.Rewrite{}
 	if flags&1 != 0 {
@@ -171,9 +174,9 @@ func unmarshalRewrite(b []byte) *header.Rewrite {
 		rw.SetDstPort, rw.DstPort = true, binary.BigEndian.Uint16(b[11:13])
 	}
 	if rw.IsZero() {
-		return nil
+		return nil, nil
 	}
-	return rw
+	return rw, nil
 }
 
 // marshalMatch encodes a match into b (≥ matchLen bytes).
@@ -201,6 +204,9 @@ func marshalMatch(m *flowtable.Match, b []byte) {
 
 // unmarshalMatch decodes a match from b (≥ matchLen bytes).
 func unmarshalMatch(b []byte) (flowtable.Match, error) {
+	if len(b) < matchLen {
+		return flowtable.Match{}, fmt.Errorf("openflow: match truncated (%d bytes, want %d)", len(b), matchLen)
+	}
 	m := flowtable.Match{
 		InPort:    topo.PortID(binary.BigEndian.Uint16(b[0:2])),
 		SrcPrefix: flowtable.Prefix{IP: binary.BigEndian.Uint32(b[2:6]), Len: int(b[6])},
@@ -249,6 +255,10 @@ func UnmarshalFlowMod(b []byte) (*FlowMod, error) {
 	if err != nil {
 		return nil, err
 	}
+	rw, err := unmarshalRewrite(b[16+matchLen : 16+matchLen+rewriteLen])
+	if err != nil {
+		return nil, err
+	}
 	f := &FlowMod{
 		Command: cmd,
 		Switch:  topo.SwitchID(binary.BigEndian.Uint16(b[1:3])),
@@ -258,7 +268,7 @@ func UnmarshalFlowMod(b []byte) (*FlowMod, error) {
 			Match:    m,
 			Action:   flowtable.Action(b[13+matchLen]),
 			OutPort:  topo.PortID(binary.BigEndian.Uint16(b[14+matchLen : 16+matchLen])),
-			Rewrite:  unmarshalRewrite(b[16+matchLen : 16+matchLen+rewriteLen]),
+			Rewrite:  rw,
 		},
 	}
 	f.Rule.ID = f.RuleID
@@ -302,13 +312,17 @@ func UnmarshalTableDump(b []byte) ([]*flowtable.Rule, error) {
 		if err != nil {
 			return nil, err
 		}
+		rw, err := unmarshalRewrite(b[off+13+matchLen : off+13+matchLen+rewriteLen])
+		if err != nil {
+			return nil, err
+		}
 		rules = append(rules, &flowtable.Rule{
 			ID:       binary.BigEndian.Uint64(b[off : off+8]),
 			Priority: binary.BigEndian.Uint16(b[off+8 : off+10]),
 			Match:    m,
 			Action:   flowtable.Action(b[off+10+matchLen]),
 			OutPort:  topo.PortID(binary.BigEndian.Uint16(b[off+11+matchLen : off+13+matchLen])),
-			Rewrite:  unmarshalRewrite(b[off+13+matchLen : off+13+matchLen+rewriteLen]),
+			Rewrite:  rw,
 		})
 		off += ruleWireLen
 	}
