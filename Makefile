@@ -11,7 +11,14 @@ FUZZTIME ?= 10s
 # Packages with Fuzz* targets and committed seed corpora.
 FUZZ_PKGS = ./internal/openflow ./internal/packet ./internal/pcap
 
-.PHONY: build test vet fmt lint race fuzz check
+# `make bench` settings: packages with benchmarks, selection regex, and
+# repeat count (6 runs is what benchstat wants for a stable comparison).
+BENCH_PKGS = . ./internal/report
+BENCH ?= .
+BENCHTIME ?= 200ms
+BENCHCOUNT ?= 6
+
+.PHONY: build test vet fmt lint race fuzz check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -45,5 +52,18 @@ fuzz:
 			$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg; \
 		done; \
 	done
+
+# Benchmark run: plain `go test -bench` text (feed BENCH.txt pairs to
+# benchstat for before/after comparisons) plus a JSON rendering committed
+# as the tracked baseline.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) $(BENCH_PKGS) | tee BENCH.txt
+	$(GO) run ./cmd/bench2json < BENCH.txt > BENCH_baseline.json
+	@echo "wrote BENCH.txt and BENCH_baseline.json"
+
+# One iteration per benchmark: proves every benchmark still compiles and
+# runs. CI uses this non-gating; it says nothing about performance.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime 1x -count 1 $(BENCH_PKGS)
 
 check: vet fmt lint race

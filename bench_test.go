@@ -100,6 +100,7 @@ func benchVerify(b *testing.B, name string) {
 	if len(reports) == 0 {
 		b.Fatal("no reports")
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if v := pt.Verify(reports[i%len(reports)]); !v.OK {
@@ -112,7 +113,9 @@ func BenchmarkVerifyStanford(b *testing.B)  { benchVerify(b, "stanford") }
 func BenchmarkVerifyInternet2(b *testing.B) { benchVerify(b, "internet2") }
 
 // BenchmarkVerifyParallel realizes §6.4's anticipated multi-threaded
-// verification: Verify is read-only, so one path table serves all cores.
+// verification: every goroutine verifies lock-free against the handle's
+// published snapshot, so throughput scales with GOMAXPROCS even while
+// updates could be swapping new snapshots in.
 func BenchmarkVerifyParallel(b *testing.B) {
 	e := benchEnvs(b)["stanford"]
 	pt := e.Table()
@@ -129,11 +132,13 @@ func BenchmarkVerifyParallel(b *testing.B) {
 	if len(reports) == 0 {
 		b.Fatal("no reports")
 	}
+	h := e.Handle()
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			if v := pt.Verify(reports[i%len(reports)]); !v.OK {
+			if v := h.Verify(reports[i%len(reports)]); !v.OK {
 				b.Errorf("verification failed: %v", v.Reason)
 				return
 			}
@@ -152,6 +157,7 @@ func benchLookup(b *testing.B, name string) {
 	pt.Entries(func(in, out topo.PortKey, _ *core.PathEntry) {
 		keys = append(keys, key{in, out})
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k := keys[i%len(keys)]
@@ -317,6 +323,7 @@ func BenchmarkPipelineNative512(b *testing.B) {
 	}
 	raw := benchPacket(512)
 	b.SetBytes(512)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p, err := packet.Parse(raw)
@@ -336,6 +343,7 @@ func BenchmarkPipelineSampling512(b *testing.B) {
 	}
 	now := time.Now()
 	b.SetBytes(512)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h := p.Header
@@ -354,6 +362,7 @@ func BenchmarkPipelineTagging512(b *testing.B) {
 	params := bloom.DefaultParams
 	var tag bloom.Tag
 	b.SetBytes(512)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tag = tag.Union(params.Hash(hop.Bytes()))

@@ -1,0 +1,96 @@
+// Command bench2json converts `go test -bench` text output (the
+// benchstat input format) into a JSON document, so benchmark baselines
+// can be committed and diffed mechanically without leaving the stdlib.
+//
+//	go test -run '^$' -bench . -count 6 ./... | tee BENCH.txt
+//	go run ./cmd/bench2json < BENCH.txt > BENCH_baseline.json
+//
+// Repeated runs of one benchmark (from -count) stay separate records;
+// benchstat-style aggregation is the consumer's job. Lines that are not
+// benchmark results (pkg headers, PASS/ok trailers) populate the context
+// block or are skipped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: name, iteration count, and every
+// value-unit metric pair the line reported (ns/op, B/op, custom metrics).
+type Result struct {
+	Name    string             `json:"name"`
+	Package string             `json:"package,omitempty"`
+	Iters   int64              `json:"iterations"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the file layout: run context plus the flat result list.
+type Document struct {
+	Context map[string]string `json:"context"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	doc := Document{Context: map[string]string{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "PASS") || strings.HasPrefix(line, "ok "):
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			doc.Context[k] = strings.TrimSpace(v)
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBenchLine(line); ok {
+				r.Package = pkg
+				doc.Results = append(doc.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json: read:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json: write:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine splits "BenchmarkName-4  123  45.6 ns/op  7 B/op ..."
+// into a Result. Fields after the iteration count come in value-unit
+// pairs; a pair that fails to parse ends the line (benchmarks never emit
+// prose mid-line, but be defensive).
+func parseBenchLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: f[0], Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			break
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}

@@ -17,6 +17,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 
 	"veridp"
 	"veridp/internal/bloom"
@@ -34,6 +35,7 @@ var (
 	reportAddr  = flag.String("reports", fmt.Sprintf(":%d", packet.ReportPort), "UDP address for tag reports")
 	metricsAddr = flag.String("metrics", "", "HTTP address for Prometheus metrics (empty disables)")
 	mbits       = flag.Int("mbits", 16, "Bloom tag size in bits")
+	workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "report collector worker goroutines")
 )
 
 func buildTopo(name string) (*topo.Network, error) {
@@ -94,7 +96,7 @@ func run(logger *log.Logger) error {
 	})
 
 	// Tag-report collector.
-	collector, err := report.NewCollector(*reportAddr, mon.HandleReport, logger)
+	collector, err := report.NewCollector(*reportAddr, mon.HandleReport, logger, report.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}
@@ -104,7 +106,7 @@ func run(logger *log.Logger) error {
 			logger.Printf("collector stopped: %v", err)
 		}
 	}()
-	logger.Printf("collecting tag reports on %v", collector.Addr())
+	logger.Printf("collecting tag reports on %v (%d workers)", collector.Addr(), collector.Workers())
 
 	// Metrics endpoint.
 	if *metricsAddr != "" {

@@ -15,6 +15,13 @@
 // different Tables must not be mixed; Table methods panic if handed an
 // out-of-range Ref.
 //
+// Append-only invariant: the node array only ever grows, and a node is never
+// mutated after it is created. Every Ref therefore stays valid for the
+// lifetime of the Table, and a View captured at any moment (an immutable
+// prefix of the node array) can evaluate those Refs from any goroutine while
+// other goroutines keep extending the table — the property VeriDP's
+// snapshot-published path table relies on (see internal/core.Handle).
+//
 // The variable order is fixed at Table creation: variable 0 is the root-most
 // level. Callers lay out header fields across variables (see package header).
 package bdd
@@ -53,29 +60,38 @@ const (
 	opXor
 )
 
-// opKey is the memoization key for binary apply operations.
-type opKey struct {
-	op   opcode
-	a, b Ref
-}
-
-// uniqueKey identifies a (level, lo, hi) triple for hash-consing.
-type uniqueKey struct {
-	level int32
-	lo    Ref
-	hi    Ref
-}
+// Sizing of the open-addressed unique table and the direct-mapped computed
+// caches. The unique table doubles past 75% load; the lossy computed caches
+// double alongside it (until the cap) so their hit rate keeps up with the
+// node count, exactly the design of classic BDD packages (BuDDy, CUDD).
+const (
+	initialBuckets  = 1 << 10
+	initialOpCache  = 1 << 12
+	initialNotCache = 1 << 10
+	maxCacheSize    = 1 << 22
+)
 
 // Table is a BDD manager: it owns the node storage, the hash-cons table that
 // guarantees canonicity, and the operation caches. A Table is not safe for
-// concurrent use; VeriDP gives each verification server its own Table and
-// serializes updates through it.
+// concurrent mutation; VeriDP serializes all set-building operations through
+// one writer at a time. Concurrent *readers* are supported only through
+// View (see the package comment's append-only invariant).
+//
+// The unique table is open-addressed: buckets hold node indices (0 = empty;
+// the False terminal is never hash-consed, so index 0 is free as the empty
+// marker), probed linearly. The computed caches are direct-mapped arrays —
+// lossy by design: a collision overwrites, costing at worst a recomputation,
+// never correctness.
 type Table struct {
-	nodes    []node
-	unique   map[uniqueKey]Ref
-	opCache  map[opKey]Ref
-	notCache map[Ref]Ref
-	numVars  int
+	nodes   []node
+	buckets []int32 // unique table: node index or 0 = empty
+
+	opKeys  []uint64 // packed (a, b, op); 0 = empty slot
+	opVals  []Ref
+	notKeys []int32 // operand Ref; 0 = empty slot
+	notVals []Ref
+
+	numVars int
 }
 
 // New returns a Table over numVars Boolean variables (levels 0..numVars-1).
@@ -84,15 +100,34 @@ func New(numVars int) *Table {
 		panic(fmt.Sprintf("bdd: invalid variable count %d", numVars))
 	}
 	t := &Table{
-		nodes:    make([]node, 2, 1024),
-		unique:   make(map[uniqueKey]Ref, 1024),
-		opCache:  make(map[opKey]Ref, 1024),
-		notCache: make(map[Ref]Ref, 256),
-		numVars:  numVars,
+		nodes:   make([]node, 2, 1024),
+		buckets: make([]int32, initialBuckets),
+		opKeys:  make([]uint64, initialOpCache),
+		opVals:  make([]Ref, initialOpCache),
+		notKeys: make([]int32, initialNotCache),
+		notVals: make([]Ref, initialNotCache),
+		numVars: numVars,
 	}
 	t.nodes[False] = node{level: terminalLevel}
 	t.nodes[True] = node{level: terminalLevel}
 	return t
+}
+
+// mix64 finalizes a 64-bit hash (the SplitMix64/Murmur3 finalizer).
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// hashTriple hashes a (level, lo, hi) node shape for the unique table.
+func hashTriple(level int32, lo, hi Ref) uint64 {
+	return mix64(uint64(uint32(level))*0x9e3779b97f4a7c15 +
+		uint64(uint32(lo))*0xc2b2ae3d27d4eb4f +
+		uint64(uint32(hi))*0x165667b19e3779f9)
 }
 
 // NumVars reports the number of Boolean variables the table was created with.
@@ -117,14 +152,58 @@ func (t *Table) mk(level int32, lo, hi Ref) Ref {
 	if lo == hi {
 		return lo
 	}
-	key := uniqueKey{level, lo, hi}
-	if r, ok := t.unique[key]; ok {
-		return r
+	mask := uint64(len(t.buckets) - 1)
+	slot := hashTriple(level, lo, hi) & mask
+	for {
+		idx := t.buckets[slot]
+		if idx == 0 {
+			break
+		}
+		n := &t.nodes[idx]
+		if n.level == level && n.lo == lo && n.hi == hi {
+			return Ref(idx)
+		}
+		slot = (slot + 1) & mask
+	}
+	// Miss: insert. Grow first when the table would pass 75% load, so
+	// probe sequences stay short; growth moved the free slot, so re-probe.
+	if (len(t.nodes)-1)*4 >= len(t.buckets)*3 {
+		t.growUnique()
+		mask = uint64(len(t.buckets) - 1)
+		slot = hashTriple(level, lo, hi) & mask
+		for t.buckets[slot] != 0 {
+			slot = (slot + 1) & mask
+		}
 	}
 	r := Ref(len(t.nodes))
 	t.nodes = append(t.nodes, node{level: level, lo: lo, hi: hi})
-	t.unique[key] = r
+	t.buckets[slot] = int32(r)
 	return r
+}
+
+// growUnique doubles the unique table and rehashes every interior node (a
+// plain scan: node order is insertion order). The computed caches double in
+// step, up to maxCacheSize; being lossy they are simply reallocated empty.
+func (t *Table) growUnique() {
+	nb := make([]int32, len(t.buckets)*2)
+	mask := uint64(len(nb) - 1)
+	for i := 2; i < len(t.nodes); i++ {
+		n := &t.nodes[i]
+		slot := hashTriple(n.level, n.lo, n.hi) & mask
+		for nb[slot] != 0 {
+			slot = (slot + 1) & mask
+		}
+		nb[slot] = int32(i)
+	}
+	t.buckets = nb
+	if len(t.opKeys) < maxCacheSize {
+		t.opKeys = make([]uint64, len(t.opKeys)*2)
+		t.opVals = make([]Ref, len(t.opVals)*2)
+	}
+	if len(t.notKeys) < maxCacheSize {
+		t.notKeys = make([]int32, len(t.notKeys)*2)
+		t.notVals = make([]Ref, len(t.notVals)*2)
+	}
 }
 
 // Var returns the BDD for "variable v is 1".
@@ -152,12 +231,19 @@ func (t *Table) Not(a Ref) Ref {
 	case True:
 		return False
 	}
-	if r, ok := t.notCache[a]; ok {
-		return r
+	// Direct-mapped complement cache. a ≥ 2 here (terminals returned
+	// above), so 0 is free as the empty marker.
+	slot := mix64(uint64(uint32(a))) & uint64(len(t.notKeys)-1)
+	if t.notKeys[slot] == int32(a) {
+		return t.notVals[slot]
 	}
 	n := t.nodes[a]
 	r := t.mk(n.level, t.Not(n.lo), t.Not(n.hi))
-	t.notCache[a] = r
+	// The caches may have been reallocated (grown) during the recursion;
+	// recompute the slot against the current array.
+	slot = mix64(uint64(uint32(a))) & uint64(len(t.notKeys)-1)
+	t.notKeys[slot] = int32(a)
+	t.notVals[slot] = r
 	return r
 }
 
@@ -250,14 +336,18 @@ func (t *Table) apply(op opcode, a, b Ref) Ref {
 			return t.Not(a)
 		}
 	}
-	// And/Or/Xor are commutative: normalize the cache key.
+	// And/Or/Xor are commutative: normalize the cache key. Both operands
+	// are ≥ 2 here (every terminal case returned above) and fit 31 bits,
+	// so the packed key is never 0, the empty-slot marker of the
+	// direct-mapped computed cache.
 	ka, kb := a, b
 	if ka > kb {
 		ka, kb = kb, ka
 	}
-	key := opKey{op, ka, kb}
-	if r, ok := t.opCache[key]; ok {
-		return r
+	key := uint64(uint32(ka))<<33 | uint64(uint32(kb))<<2 | uint64(op)
+	slot := mix64(key) & uint64(len(t.opKeys)-1)
+	if t.opKeys[slot] == key {
+		return t.opVals[slot]
 	}
 	na, nb := t.nodes[a], t.nodes[b]
 	var level int32
@@ -271,7 +361,10 @@ func (t *Table) apply(op opcode, a, b Ref) Ref {
 		level, alo, ahi, blo, bhi = nb.level, a, a, nb.lo, nb.hi
 	}
 	r := t.mk(level, t.apply(op, alo, blo), t.apply(op, ahi, bhi))
-	t.opCache[key] = r
+	// Recompute: the cache may have been reallocated during the recursion.
+	slot = mix64(key) & uint64(len(t.opKeys)-1)
+	t.opKeys[slot] = key
+	t.opVals[slot] = r
 	return r
 }
 
@@ -518,8 +611,58 @@ func (t *Table) Eval(f Ref, assignment []byte) bool {
 
 // ClearCaches drops the operation memo tables (but not the hash-cons table,
 // which canonicity requires). Long-running incremental-update loops call this
-// periodically to bound memory.
+// periodically to bound memory. The direct-mapped arrays are zeroed in place;
+// their size is already capped at maxCacheSize.
 func (t *Table) ClearCaches() {
-	t.opCache = make(map[opKey]Ref, 1024)
-	t.notCache = make(map[Ref]Ref, 256)
+	clear(t.opKeys)
+	clear(t.opVals)
+	clear(t.notKeys)
+	clear(t.notVals)
+}
+
+// View is an immutable snapshot of the table's node storage: every node that
+// existed when View was called, and no node created after. Because nodes are
+// append-only and never mutated, a View may be read from any number of
+// goroutines concurrently with ongoing table operations — provided the View
+// itself was published to those goroutines with proper synchronization (an
+// atomic pointer swap, a channel send, a mutex). Refs obtained before the
+// View was taken are always in range; Refs minted later are not and Eval
+// panics on them.
+type View struct {
+	nodes   []node
+	numVars int
+}
+
+// View captures the current node array. The three-index slice pins the
+// length so that a later append can never expose post-snapshot nodes
+// through this View.
+func (t *Table) View() View {
+	return View{nodes: t.nodes[:len(t.nodes):len(t.nodes)], numVars: t.numVars}
+}
+
+// NumNodes reports how many nodes the view spans (including terminals).
+func (v View) NumNodes() int { return len(v.nodes) }
+
+// Contains reports whether r was already allocated when the view was taken.
+func (v View) Contains(r Ref) bool { return r >= 0 && int(r) < len(v.nodes) }
+
+// Eval evaluates f under a complete assignment, exactly like Table.Eval but
+// against the immutable snapshot — the lock-free read path of Algorithm 3.
+func (v View) Eval(f Ref, assignment []byte) bool {
+	if f < 0 || int(f) >= len(v.nodes) {
+		panic(fmt.Sprintf("bdd: ref %d outside view (size %d)", f, len(v.nodes)))
+	}
+	if len(assignment) != v.numVars {
+		panic(fmt.Sprintf("bdd: Eval assignment length %d, want %d", len(assignment), v.numVars))
+	}
+	nodes := v.nodes
+	for f > True {
+		n := &nodes[f]
+		if assignment[n.level] != 0 {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
 }

@@ -1,0 +1,265 @@
+// Snapshot publication: the verification server's answer to §6.4's
+// multi-threaded verification running *while the table changes* (the
+// property Foerster & Schmid's local-verification line of work argues
+// consistency monitors need). A Handle owns the mutable PathTable and
+// publishes immutable Snapshots of it through an atomic pointer: any number
+// of goroutines verify tag reports lock-free against the snapshot they
+// loaded, while rule updates mutate the private table and swap in a new
+// snapshot when they finish. A verdict therefore always reflects a fully
+// applied update — never the half-way state between ApplyDelta's shrink and
+// re-traversal steps.
+//
+// Why BDD refs stay valid across snapshots: bdd.Table is append-only — a
+// node is never mutated or freed once created (see the bdd package
+// comment). A Snapshot captures a bdd.View (an immutable prefix of the node
+// array) at publication time; every Headers ref frozen into the snapshot
+// was minted before the view was taken, so the view can evaluate it even
+// while the writer keeps extending the table for the next update. The
+// atomic pointer swap provides the happens-before edge that makes the
+// writer's appends visible to readers.
+//
+// Publication is copy-on-write at pair granularity. A snapshot is a shared
+// base map plus a small overlay of recently-changed pairs; ApplyDelta only
+// freezes the pairs it touched, and the overlay folds into a fresh base
+// once it grows past a quarter of the base. Frozen entries are copies, so
+// writer-side mutation of live entries (header shrinking, deletion marks)
+// never tears a published one.
+
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"veridp/internal/bdd"
+	"veridp/internal/bloom"
+	"veridp/internal/flowtable"
+	"veridp/internal/header"
+	"veridp/internal/packet"
+	"veridp/internal/topo"
+)
+
+// Snapshot is one immutable publication of the path table: verification and
+// lookup against it are lock-free and allocation-free, and all reads within
+// one Snapshot observe the same fully-applied update sequence. Entries
+// reachable from a Snapshot must not be mutated.
+type Snapshot struct {
+	base    map[tableKey][]*PathEntry // shared with older snapshots; immutable
+	overlay map[tableKey][]*PathEntry // recently-updated pairs; immutable; nil slice = pair gone
+	view    bdd.View
+	space   *header.Space
+	params  bloom.Params
+}
+
+// lookup resolves a pair against overlay-then-base.
+func (s *Snapshot) lookup(k tableKey) []*PathEntry {
+	if s.overlay != nil {
+		if es, ok := s.overlay[k]; ok {
+			return es
+		}
+	}
+	return s.base[k]
+}
+
+// Lookup returns the live paths for an ⟨inport, outport⟩ pair. The returned
+// entries are frozen: safe to read from any goroutine, never mutated.
+func (s *Snapshot) Lookup(in, out topo.PortKey) []*PathEntry {
+	return s.lookup(tableKey{in, out})
+}
+
+// Params reports the Bloom configuration the snapshot's tags were derived
+// under.
+func (s *Snapshot) Params() bloom.Params { return s.params }
+
+// Verify implements Algorithm 3 on one tag report against this snapshot.
+// It is the lock-free twin of PathTable.Verify: safe from any number of
+// goroutines concurrently with table updates, and allocation-free.
+func (s *Snapshot) Verify(r *packet.Report) Verdict {
+	paths := s.lookup(tableKey{r.Inport, r.Outport})
+	if len(paths) == 0 {
+		return Verdict{Reason: FailNoPair}
+	}
+	var matched *PathEntry
+	for _, e := range paths {
+		if !s.space.ContainsView(s.view, e.Headers, r.Header) {
+			continue
+		}
+		if e.Tag == r.Tag {
+			return Verdict{OK: true, Reason: FailNone, Matched: e}
+		}
+		if matched == nil {
+			matched = e
+		}
+	}
+	if matched != nil {
+		return Verdict{Reason: FailTagMismatch, Matched: matched}
+	}
+	return Verdict{Reason: FailNoHeaderMatch}
+}
+
+// Handle publishes a PathTable for concurrent use: Verify/Lookup load the
+// current Snapshot atomically and never block, while the update methods
+// (ApplyDelta, SetParams, Compact, Swap) serialize on an internal mutex,
+// mutate the private table, and publish a fresh Snapshot on completion.
+type Handle struct {
+	mu   sync.Mutex
+	work *PathTable // guarded by mu
+	cur  atomic.Pointer[Snapshot]
+}
+
+// NewHandle wraps pt and publishes its first snapshot. The Handle owns pt
+// from here on: callers must not mutate pt directly anymore (use the
+// Handle's update methods, or Inspect for serialized read access).
+func NewHandle(pt *PathTable) *Handle {
+	h := &Handle{work: pt}
+	h.cur.Store(freezeAll(pt))
+	return h
+}
+
+// Current returns the latest published Snapshot. Callers that verify a
+// batch of reports against one consistent table state hold on to the
+// returned snapshot rather than calling h.Verify per report.
+func (h *Handle) Current() *Snapshot { return h.cur.Load() }
+
+// Verify checks one tag report against the current snapshot, lock-free.
+func (h *Handle) Verify(r *packet.Report) Verdict { return h.cur.Load().Verify(r) }
+
+// Lookup returns the current snapshot's live paths for a pair, lock-free.
+func (h *Handle) Lookup(in, out topo.PortKey) []*PathEntry {
+	return h.cur.Load().Lookup(in, out)
+}
+
+// ApplyDelta applies a §4.4 incremental update and publishes the result as
+// one atomic snapshot swap: concurrent verifications see either the table
+// before the rule change or after it, never in between.
+func (h *Handle) ApplyDelta(sw topo.SwitchID, d flowtable.Delta) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Pairs whose entries the shrink step may touch, recorded up front;
+	// addPath records the pairs the re-traversal grows via pt.touched.
+	touched := make(map[tableKey]bool)
+	for _, e := range h.work.hopIndex[topo.PortKey{Switch: sw, Port: d.From}] {
+		if !e.deleted {
+			touched[entryKeyOf(e)] = true
+		}
+	}
+	h.work.touched = touched
+	err := h.work.ApplyDelta(sw, d)
+	h.work.touched = nil
+	h.publishTouched(h.work, touched)
+	return err
+}
+
+// SetParams re-derives every tag under a new Bloom configuration and
+// publishes a full snapshot.
+func (h *Handle) SetParams(p bloom.Params) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.work.SetParams(p)
+	h.cur.Store(freezeAll(h.work))
+}
+
+// Compact garbage-collects the writer table and folds the published
+// overlay into a fresh base.
+func (h *Handle) Compact() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.work.Compact()
+	h.cur.Store(freezeAll(h.work))
+}
+
+// Swap replaces the table wholesale: build receives the current table (for
+// its Configs/Space) and returns its successor — the full-rebuild path the
+// OpenFlow interception proxy uses. Returning the received table republishes
+// it unchanged.
+func (h *Handle) Swap(build func(old *PathTable) *PathTable) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.work = build(h.work)
+	h.cur.Store(freezeAll(h.work))
+}
+
+// Inspect runs fn on the writer table under the update lock, without
+// republishing. It serializes fn against all updates, so fn may run
+// operations that extend the BDD (localization, repair planning) — but it
+// must not change entries, arrivals, or tags; use the update methods for
+// that.
+func (h *Handle) Inspect(fn func(pt *PathTable)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fn(h.work)
+}
+
+// Table exposes the writer table for single-threaded call sites (stats
+// dumps, experiment harnesses). Any use concurrent with the Handle's update
+// methods must go through Inspect instead.
+func (h *Handle) Table() *PathTable {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.work
+}
+
+// entryKeyOf recovers an entry's ⟨inport, outport⟩ pair from its hop
+// sequence. Invariant (maintained by traverse/extend and checked by
+// construction): Path[0] enters at the entry's inport — Path[0].Switch is
+// the inport switch and Path[0].In its port — and the last hop exits at the
+// outport.
+func entryKeyOf(e *PathEntry) tableKey {
+	first, last := e.Path[0], e.Path[len(e.Path)-1]
+	return tableKey{
+		In:  topo.PortKey{Switch: first.Switch, Port: first.In},
+		Out: topo.PortKey{Switch: last.Switch, Port: last.Out},
+	}
+}
+
+// freezeKey copies a pair's live entries into immutable structs. The Path
+// slice is shared: addPath copies it at insert time and no code mutates a
+// recorded path in place.
+func freezeKey(pt *PathTable, k tableKey) []*PathEntry {
+	es := pt.entries[k]
+	out := make([]*PathEntry, 0, len(es))
+	for _, e := range es {
+		if e.deleted {
+			continue
+		}
+		out = append(out, &PathEntry{Headers: e.Headers, Path: e.Path, Tag: e.Tag})
+	}
+	return out
+}
+
+// freezeAll builds a from-scratch snapshot (empty overlay).
+func freezeAll(pt *PathTable) *Snapshot {
+	base := make(map[tableKey][]*PathEntry, len(pt.entries))
+	for k := range pt.entries {
+		if fs := freezeKey(pt, k); len(fs) > 0 {
+			base[k] = fs
+		}
+	}
+	return &Snapshot{base: base, view: pt.Space.T.View(), space: pt.Space, params: pt.Params}
+}
+
+// publishTouched publishes a snapshot that re-freezes only the touched
+// pairs of pt (the writer table, passed in by a caller holding mu), layered
+// over the previous snapshot's base. Once the overlay grows past a quarter
+// of the base it folds into a fresh base, keeping lookups at one map probe
+// in the steady state and publication cost proportional to the update's
+// footprint, not the table size.
+func (h *Handle) publishTouched(pt *PathTable, touched map[tableKey]bool) {
+	prev := h.cur.Load()
+	if len(prev.overlay)+len(touched) >= 32+len(prev.base)/4 {
+		h.cur.Store(freezeAll(pt))
+		return
+	}
+	ov := make(map[tableKey][]*PathEntry, len(prev.overlay)+len(touched))
+	for k, v := range prev.overlay {
+		ov[k] = v
+	}
+	for k := range touched {
+		if fs := freezeKey(pt, k); len(fs) > 0 {
+			ov[k] = fs
+		} else {
+			ov[k] = nil // pair emptied by this update
+		}
+	}
+	h.cur.Store(&Snapshot{base: prev.base, overlay: ov, view: pt.Space.T.View(), space: pt.Space, params: pt.Params})
+}

@@ -1,0 +1,229 @@
+// Handle tests: snapshot publication correctness (a verdict never observes
+// a half-applied update), equivalence with the single-threaded table, and
+// the allocation-free guarantee of the verification hot path.
+
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"veridp/internal/bloom"
+	"veridp/internal/controller"
+	"veridp/internal/dataplane"
+	"veridp/internal/flowtable"
+	"veridp/internal/header"
+	"veridp/internal/packet"
+	"veridp/internal/topo"
+)
+
+// diamondEnv builds Figure 5's topology with pure prefix routing so §4.4
+// deltas apply: traffic to 10.0.2.0/24 rides S1→S2→S3, and a /32 for H3
+// toggled on S1 re-routes H3's traffic onto the direct S1→S3 link. Both
+// routes share the ⟨S1.1, S3.2⟩ pair but fold different tags, which is
+// exactly the shape a torn update would confuse.
+type diamondEnv struct {
+	pt   *PathTable
+	tree *flowtable.PrefixTree
+	s1   topo.SwitchID
+	hdr  header.Header
+	pair [2]topo.PortKey // inport, outport of the H1→H3 flow
+}
+
+func newDiamondEnv(t *testing.T) *diamondEnv {
+	t.Helper()
+	n := topo.Figure5()
+	space := header.NewSpace()
+	f := dataplane.NewFabric(n)
+	c := controller.New(n, &dataplane.FabricInstaller{Fabric: f})
+	s1 := n.SwitchByName("S1").ID
+	s2 := n.SwitchByName("S2").ID
+	s3 := n.SwitchByName("S3").ID
+	dst24 := flowtable.Prefix{IP: 0x0a000200, Len: 24}
+	for _, in := range []struct {
+		sw topo.SwitchID
+		r  flowtable.Rule
+	}{
+		{s1, flowtable.Rule{Priority: 24, Match: flowtable.Match{DstPrefix: dst24}, Action: flowtable.ActOutput, OutPort: 3}},
+		{s2, flowtable.Rule{Priority: 24, Match: flowtable.Match{DstPrefix: dst24}, Action: flowtable.ActOutput, OutPort: 2}},
+		{s3, flowtable.Rule{Priority: 24, Match: flowtable.Match{DstPrefix: dst24}, Action: flowtable.ActOutput, OutPort: 2}},
+	} {
+		if _, err := c.InstallRule(in.sw, in.r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pt := (&Builder{Net: n, Space: space, Params: bloom.DefaultParams, Configs: c.Logical()}).Build()
+	tree := flowtable.NewPrefixTree(space, n.SwitchByName("S1").Ports())
+	if _, _, err := tree.Insert(dst24, 3); err != nil { // mirror S1's build-time state
+		t.Fatal(err)
+	}
+	return &diamondEnv{
+		pt:   pt,
+		tree: tree,
+		s1:   s1,
+		hdr:  header.Header{SrcIP: 0x0a000101, DstIP: 0x0a000201, Proto: header.ProtoTCP, DstPort: 80},
+		pair: [2]topo.PortKey{{Switch: s1, Port: 1}, {Switch: s3, Port: 2}},
+	}
+}
+
+// tagFor finds the tag of the pair's entry admitting the flow's header in
+// the current snapshot.
+func (d *diamondEnv) tagFor(t *testing.T, s *Snapshot) bloom.Tag {
+	t.Helper()
+	for _, e := range s.Lookup(d.pair[0], d.pair[1]) {
+		if d.pt.Space.Contains(e.Headers, d.hdr) {
+			return e.Tag
+		}
+	}
+	t.Fatal("no entry admits the flow header")
+	return 0
+}
+
+// TestHandleStormOneVerdict is the torn-update regression test: reader
+// goroutines verify two reports — one valid before a rule change, one valid
+// after — against single pinned snapshots while a writer flips the rule
+// through ApplyDelta as fast as it can. Every snapshot must satisfy
+// "exactly one of the two reports verifies, the other fails as a tag
+// mismatch": a half-applied update (shrink done, re-traversal pending)
+// would break it. Run under -race this also proves the publication's
+// happens-before edges.
+func TestHandleStormOneVerdict(t *testing.T) {
+	d := newDiamondEnv(t)
+	h := NewHandle(d.pt)
+
+	tagA := d.tagFor(t, h.Current()) // via S2
+	host32 := flowtable.Prefix{IP: 0x0a000201, Len: 32}
+	id, delta, err := d.tree.Insert(host32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ApplyDelta(d.s1, delta); err != nil {
+		t.Fatal(err)
+	}
+	tagB := d.tagFor(t, h.Current()) // direct S1→S3
+	if tagA == tagB {
+		t.Fatal("both routes fold the same tag; the storm test needs them distinct")
+	}
+	rA := &packet.Report{Inport: d.pair[0], Outport: d.pair[1], Header: d.hdr, Tag: tagA}
+	rB := &packet.Report{Inport: d.pair[0], Outport: d.pair[1], Header: d.hdr, Tag: tagB}
+
+	const flips = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Current() // pin ONE snapshot for both verdicts
+				vA, vB := s.Verify(rA), s.Verify(rB)
+				if vA.OK == vB.OK {
+					t.Errorf("torn snapshot: before-report OK=%v, after-report OK=%v", vA.OK, vB.OK)
+					return
+				}
+				for _, v := range []Verdict{vA, vB} {
+					if !v.OK && v.Reason != FailTagMismatch {
+						t.Errorf("losing report failed with %v, want FailTagMismatch", v.Reason)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < flips; i++ {
+		delta, err := d.tree.Remove(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.ApplyDelta(d.s1, delta); err != nil {
+			t.Fatal(err)
+		}
+		if id, delta, err = d.tree.Insert(host32, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.ApplyDelta(d.s1, delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestHandleMatchesTable checks that the published snapshot agrees with the
+// writer table after every update: same pairs, same headers/paths/tags.
+func TestHandleMatchesTable(t *testing.T) {
+	d := newDiamondEnv(t)
+	h := NewHandle(d.pt)
+
+	check := func(step string) {
+		t.Helper()
+		s := h.Current()
+		pt := h.Table()
+		seen := 0
+		pt.Entries(func(in, out topo.PortKey, e *PathEntry) {
+			seen++
+			var twin *PathEntry
+			for _, fe := range s.Lookup(in, out) {
+				if samePath(fe.Path, e.Path) {
+					twin = fe
+					break
+				}
+			}
+			if twin == nil {
+				t.Fatalf("%s: entry %v missing from snapshot", step, e)
+			}
+			if twin.Headers != e.Headers || twin.Tag != e.Tag {
+				t.Fatalf("%s: snapshot entry diverged: %v vs %v", step, twin, e)
+			}
+		})
+		if seen == 0 {
+			t.Fatalf("%s: table has no entries", step)
+		}
+	}
+
+	check("initial")
+	host32 := flowtable.Prefix{IP: 0x0a000201, Len: 32}
+	id, delta, err := d.tree.Insert(host32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ApplyDelta(d.s1, delta); err != nil {
+		t.Fatal(err)
+	}
+	check("after insert")
+	if delta, err = d.tree.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ApplyDelta(d.s1, delta); err != nil {
+		t.Fatal(err)
+	}
+	check("after remove")
+	h.SetParams(bloom.Params{MBits: 32})
+	check("after SetParams")
+	h.Compact()
+	check("after Compact")
+}
+
+// TestVerifyAllocationFree pins the hot path's zero-allocation guarantee:
+// both PathTable.Verify and the snapshot twin must not allocate per report.
+func TestVerifyAllocationFree(t *testing.T) {
+	d := newDiamondEnv(t)
+	h := NewHandle(d.pt)
+	r := &packet.Report{Inport: d.pair[0], Outport: d.pair[1], Header: d.hdr, Tag: d.tagFor(t, h.Current())}
+
+	if v := h.Verify(r); !v.OK {
+		t.Fatalf("witness report failed: %v", v.Reason)
+	}
+	if avg := testing.AllocsPerRun(200, func() { h.Verify(r) }); avg != 0 {
+		t.Errorf("Handle.Verify allocates %.1f/op, want 0", avg)
+	}
+	pt := h.Table()
+	if avg := testing.AllocsPerRun(200, func() { pt.Verify(r) }); avg != 0 {
+		t.Errorf("PathTable.Verify allocates %.1f/op, want 0", avg)
+	}
+}

@@ -59,9 +59,9 @@ type arrival struct {
 }
 
 // PathTable is the verification server's model of the control plane.
-// Methods are not safe for concurrent use; the server serializes
-// verification and updates (the paper's prototype is single-threaded too,
-// §6.4).
+// Methods are not safe for concurrent use on their own; wrap the table in
+// a Handle to get lock-free concurrent verification with serialized,
+// atomically-published updates (the multi-threading §6.4 anticipates).
 type PathTable struct {
 	Net    *topo.Network
 	Space  *header.Space
@@ -86,6 +86,11 @@ type PathTable struct {
 	// time; incremental updates patch the plain (nil-rewrite) guards
 	// (valid under §4.4's no-ACL, no-rewrite assumption).
 	transfer map[topo.SwitchID]map[flowtable.PortPair][]flowtable.TransferEntry
+
+	// touched, when non-nil, collects the ⟨inport, outport⟩ pairs addPath
+	// modifies — Handle sets it around ApplyDelta so snapshot publication
+	// re-freezes only the update's footprint.
+	touched map[tableKey]bool
 }
 
 // Pairs returns the number of ⟨inport, outport⟩ pairs with at least one
@@ -213,6 +218,9 @@ func (pt *PathTable) Entries(fn func(in, out topo.PortKey, e *PathEntry)) {
 // incremental updates).
 func (pt *PathTable) addPath(in, out topo.PortKey, headers bdd.Ref, path topo.Path, tag bloom.Tag) *PathEntry {
 	k := tableKey{in, out}
+	if pt.touched != nil {
+		pt.touched[k] = true
+	}
 	for _, e := range pt.live(k) {
 		if samePath(e.Path, path) {
 			e.Headers = pt.Space.T.Or(e.Headers, headers)

@@ -258,6 +258,16 @@ func (s *Space) Contains(set bdd.Ref, h Header) bool {
 	return s.T.Eval(set, a[:])
 }
 
+// ContainsView is Contains evaluated against an immutable BDD view instead
+// of the live table — the lock-free verification path: many goroutines may
+// call it concurrently while a writer keeps extending the underlying table
+// (the view's refs stay valid because the node array is append-only).
+func (s *Space) ContainsView(v bdd.View, set bdd.Ref, h Header) bool {
+	var a [NumVars]byte
+	fillAssignment(&a, h)
+	return v.Eval(set, a[:])
+}
+
 // assignment expands a concrete header into a full 104-variable assignment
 // (heap-allocating; hot paths use fillAssignment with a stack array).
 func (s *Space) assignment(h Header) []byte {

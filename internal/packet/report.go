@@ -60,18 +60,29 @@ func (r *Report) Marshal() []byte {
 	return b
 }
 
-// UnmarshalReport decodes a wire-form report.
+// UnmarshalReport decodes a wire-form report into a fresh allocation.
 func UnmarshalReport(b []byte) (*Report, error) {
+	r := new(Report)
+	if err := UnmarshalReportInto(b, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// UnmarshalReportInto decodes a wire-form report into r, overwriting every
+// field. It allocates nothing, so callers on a hot receive path can reuse
+// one Report per worker (the collector's zero-alloc datagram loop).
+func UnmarshalReportInto(b []byte, r *Report) error {
 	if len(b) < ReportLen {
-		return nil, fmt.Errorf("packet: report truncated (%d bytes)", len(b))
+		return fmt.Errorf("packet: report truncated (%d bytes)", len(b))
 	}
 	if binary.BigEndian.Uint16(b[0:2]) != reportMagic {
-		return nil, fmt.Errorf("packet: not a VeriDP report")
+		return fmt.Errorf("packet: not a VeriDP report")
 	}
 	if b[2] != reportVersion {
-		return nil, fmt.Errorf("packet: unsupported report version %d", b[2])
+		return fmt.Errorf("packet: unsupported report version %d", b[2])
 	}
-	return &Report{
+	*r = Report{
 		MBits: b[3],
 		Inport: topo.PortKey{
 			Switch: topo.SwitchID(binary.BigEndian.Uint16(b[4:6])),
@@ -89,5 +100,6 @@ func UnmarshalReport(b []byte) (*Report, error) {
 			DstPort: binary.BigEndian.Uint16(b[24:26]),
 		},
 		Tag: bloom.Tag(binary.BigEndian.Uint64(b[26:34])),
-	}, nil
+	}
+	return nil
 }

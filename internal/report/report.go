@@ -4,6 +4,14 @@
 // bypasses UDP; this package exists for the live deployment path
 // (cmd/veridp-server, examples/liveproxy) and is exercised end-to-end over
 // real sockets in its tests.
+//
+// The collector is a parallel pipeline: a configurable pool of workers
+// (WithWorkers) each loops read→decode→verify on the shared UDP socket —
+// the kernel load-balances datagrams across concurrent readers — so
+// verification throughput scales with cores, the multi-threaded server
+// §6.4 of the paper anticipates. The happy path allocates nothing per
+// datagram: receive buffers come from a sync.Pool and each worker decodes
+// into a single reused packet.Report.
 package report
 
 import (
@@ -11,8 +19,11 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/netip"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"veridp/internal/packet"
 )
@@ -46,24 +57,99 @@ func (s *Sender) HandleReport(r *packet.Report) {
 // Close releases the socket.
 func (s *Sender) Close() error { return s.conn.Close() }
 
-// Collector receives and parses report datagrams.
+// bufPool recycles receive buffers across workers; 2 KiB comfortably holds
+// the 34-byte report plus any padded or trailing junk a switch might send.
+var bufPool = sync.Pool{New: func() any { return new([2048]byte) }}
+
+// Log flood control: at most logBurst messages at once, refilled at
+// logRefillPerSec. Counters are never rate-limited — only log lines are.
+const (
+	logBurst        = 10
+	logRefillPerSec = 1
+)
+
+// logLimiter is a token bucket bounding the collector's log volume when a
+// misbehaving or adversarial switch floods it with garbage datagrams.
+type logLimiter struct {
+	mu     sync.Mutex
+	tokens float64   // guarded by mu
+	last   time.Time // guarded by mu
+}
+
+// allow consumes a token if one is available.
+func (l *logLimiter) allow(now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.last.IsZero() {
+		l.tokens = logBurst
+	} else {
+		l.tokens += now.Sub(l.last).Seconds() * logRefillPerSec
+		if l.tokens > logBurst {
+			l.tokens = logBurst
+		}
+	}
+	l.last = now
+	if l.tokens < 1 {
+		return false
+	}
+	l.tokens--
+	return true
+}
+
+// shard holds one worker's counters, so the datagram hot path touches no
+// state shared between workers. The pad keeps adjacent shards out of one
+// cache line (the counters are written on every datagram).
+type shard struct {
+	received  atomic.Uint64
+	malformed atomic.Uint64
+	mu        sync.Mutex
+	bySource  map[netip.AddrPort]uint64 // guarded by mu
+	_         [24]byte
+}
+
+// Collector receives, parses, and dispatches report datagrams with a pool
+// of worker goroutines sharing one UDP socket.
 type Collector struct {
 	conn    *net.UDPConn
 	handler func(*packet.Report)
 	logger  *log.Logger
 
-	received  atomic.Uint64
-	malformed atomic.Uint64
+	shards []shard // one per worker; fixed after NewCollector
 
-	mu       sync.Mutex
-	bySource map[string]uint64 // guarded by mu
+	logLim     logLimiter
+	suppressed atomic.Uint64 // log lines dropped by the limiter
 
 	closeOnce sync.Once
 }
 
+// Option configures a Collector.
+type Option func(*collectorOptions)
+
+type collectorOptions struct {
+	workers int
+}
+
+// WithWorkers sets the number of read/decode/verify worker goroutines the
+// collector runs (default runtime.GOMAXPROCS(0)). Values below 1 are
+// clamped to 1.
+func WithWorkers(n int) Option {
+	return func(o *collectorOptions) { o.workers = n }
+}
+
 // NewCollector listens on addr (e.g. ":48879") and dispatches each parsed
 // report to handler. logger may be nil.
-func NewCollector(addr string, handler func(*packet.Report), logger *log.Logger) (*Collector, error) {
+//
+// handler is called concurrently from every worker and must be safe for
+// parallel use. The *packet.Report it receives is reused by the worker:
+// it is valid only until handler returns — copy the struct to retain it.
+func NewCollector(addr string, handler func(*packet.Report), logger *log.Logger, opts ...Option) (*Collector, error) {
+	o := collectorOptions{workers: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.workers < 1 {
+		o.workers = 1
+	}
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("report: resolve %q: %w", addr, err)
@@ -72,58 +158,121 @@ func NewCollector(addr string, handler func(*packet.Report), logger *log.Logger)
 	if err != nil {
 		return nil, fmt.Errorf("report: listen %q: %w", addr, err)
 	}
-	return &Collector{conn: conn, handler: handler, logger: logger, bySource: make(map[string]uint64)}, nil
+	c := &Collector{conn: conn, handler: handler, logger: logger, shards: make([]shard, o.workers)}
+	for i := range c.shards {
+		c.shards[i].bySource = make(map[netip.AddrPort]uint64)
+	}
+	return c, nil
 }
 
 // Addr returns the bound address (useful with port 0).
 func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
 
-// Run reads datagrams until Close; it always returns a non-nil error
-// (net.ErrClosed after Close).
+// Workers returns the size of the worker pool.
+func (c *Collector) Workers() int { return len(c.shards) }
+
+// Run starts the worker pool and blocks until Close; it always returns a
+// non-nil error (net.ErrClosed after Close).
 func (c *Collector) Run() error {
-	buf := make([]byte, 2048)
-	for {
-		n, from, err := c.conn.ReadFromUDP(buf)
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = c.worker(&c.shards[i])
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
+			return err
+		}
+	}
+	return errors.New("report: collector stopped") // unreachable: workers only exit on error
+}
+
+// worker is one read→decode→dispatch loop. Concurrent ReadFromUDP calls on
+// the shared socket are safe — the kernel delivers each datagram to exactly
+// one reader — which is what spreads ingest across the pool. The loop is
+// allocation-free per datagram: buffers are pooled and the Report is reused.
+func (c *Collector) worker(s *shard) error {
+	r := new(packet.Report)
+	for {
+		bp := bufPool.Get().(*[2048]byte)
+		n, from, err := c.conn.ReadFromUDPAddrPort(bp[:])
+		if err != nil {
+			bufPool.Put(bp)
 			if errors.Is(err, net.ErrClosed) {
 				return err
 			}
-			if c.logger != nil {
-				c.logger.Printf("report: read: %v", err)
-			}
+			c.logf("report: read: %v", err)
 			continue
 		}
-		r, err := packet.UnmarshalReport(buf[:n])
+		err = packet.UnmarshalReportInto(bp[:n], r)
+		bufPool.Put(bp)
 		if err != nil {
-			c.malformed.Add(1)
-			if c.logger != nil {
-				c.logger.Printf("report: malformed datagram from the wire: %v", err)
-			}
+			s.malformed.Add(1)
+			c.logf("report: malformed datagram from the wire: %v", err)
 			continue
 		}
-		c.received.Add(1)
-		c.mu.Lock()
-		c.bySource[from.String()]++
-		c.mu.Unlock()
+		s.received.Add(1)
+		s.mu.Lock()
+		s.bySource[from]++
+		s.mu.Unlock()
 		c.handler(r)
 	}
 }
 
-// Received returns the count of well-formed reports processed.
-func (c *Collector) Received() uint64 { return c.received.Load() }
+// logf emits through the token bucket, reporting how many lines the
+// limiter swallowed since the last one that got through.
+func (c *Collector) logf(format string, args ...any) {
+	if c.logger == nil {
+		return
+	}
+	if !c.logLim.allow(time.Now()) {
+		c.suppressed.Add(1)
+		return
+	}
+	if n := c.suppressed.Swap(0); n > 0 {
+		format += fmt.Sprintf(" (%d similar lines suppressed)", n)
+	}
+	c.logger.Printf(format, args...)
+}
 
-// Malformed returns the count of undecodable datagrams.
-func (c *Collector) Malformed() uint64 { return c.malformed.Load() }
+// Received returns the count of well-formed reports processed, folded
+// across the worker shards.
+func (c *Collector) Received() uint64 {
+	var n uint64
+	for i := range c.shards {
+		n += c.shards[i].received.Load()
+	}
+	return n
+}
+
+// Malformed returns the count of undecodable datagrams, folded across the
+// worker shards. Every malformed datagram is counted even when its log
+// line is rate-limited away.
+func (c *Collector) Malformed() uint64 {
+	var n uint64
+	for i := range c.shards {
+		n += c.shards[i].malformed.Load()
+	}
+	return n
+}
 
 // SourceCounts returns a snapshot of well-formed report counts keyed by
 // sender address — the per-switch breakdown a deployment uses to spot a
 // switch whose reports stopped arriving.
 func (c *Collector) SourceCounts() map[string]uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]uint64, len(c.bySource))
-	for k, v := range c.bySource {
-		out[k] = v
+	out := make(map[string]uint64)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, v := range s.bySource {
+			out[k.String()] += v
+		}
+		s.mu.Unlock()
 	}
 	return out
 }

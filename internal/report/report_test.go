@@ -42,10 +42,10 @@ func collectorPair(t *testing.T, handler func(*packet.Report)) (*Collector, *Sen
 
 func TestSenderToCollector(t *testing.T) {
 	var mu sync.Mutex
-	var got []*packet.Report
+	var got []packet.Report
 	c, s := collectorPair(t, func(r *packet.Report) {
 		mu.Lock()
-		got = append(got, r)
+		got = append(got, *r) // the pointee is reused after the handler returns
 		mu.Unlock()
 	})
 	defer c.Close()
@@ -71,7 +71,8 @@ func TestSenderToCollector(t *testing.T) {
 	mu.Lock()
 	defer mu.Unlock()
 	seen := map[uint16]bool{}
-	for _, r := range got {
+	for i := range got {
+		r := &got[i]
 		if r.Tag != 0xbeef || r.Outport.Port != 2 {
 			t.Fatalf("corrupted report %v", r)
 		}

@@ -40,7 +40,8 @@ type Env struct {
 	Space  *header.Space
 	Params bloom.Params
 
-	table *core.PathTable
+	table  *core.PathTable
+	handle *core.Handle
 }
 
 // Table returns the path table, building it on first use (construction is
@@ -59,9 +60,20 @@ func (e *Env) Build() *core.PathTable {
 	return b.Build()
 }
 
-// InvalidateTable drops the cached table (after deliberate logical
-// changes).
-func (e *Env) InvalidateTable() { e.table = nil }
+// Handle wraps the path table in a snapshot-publishing core.Handle,
+// building both on first use. Once a Handle exists, concurrent-safe
+// callers go through it; Table remains for single-threaded measurement
+// code, and both views share the same underlying table.
+func (e *Env) Handle() *core.Handle {
+	if e.handle == nil {
+		e.handle = core.NewHandle(e.Table())
+	}
+	return e.handle
+}
+
+// InvalidateTable drops the cached table and handle (after deliberate
+// logical changes).
+func (e *Env) InvalidateTable() { e.table, e.handle = nil, nil }
 
 // newEnv wires the common plumbing. Extra fabric options (capture taps,
 // samplers, clocks) append after the params option.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"veridp/internal/core"
 	"veridp/internal/flowtable"
 	"veridp/internal/topo"
 )
@@ -78,7 +79,9 @@ func IncrementalUpdate(scale Internet2Scale, targetRouter string) (*UpdateExperi
 		}
 	}
 
-	pt := e.Build()
+	// Updates go through a Handle so each measured duration includes
+	// snapshot publication — the cost a live multi-threaded server pays.
+	h := core.NewHandle(e.Build())
 	tree := flowtable.NewPrefixTree(e.Space, target.Ports())
 	res := &UpdateExperimentResult{Target: targetRouter}
 
@@ -88,7 +91,7 @@ func IncrementalUpdate(scale Internet2Scale, targetRouter string) (*UpdateExperi
 		if err != nil {
 			continue // duplicate prefix in the synthetic set
 		}
-		if err := pt.ApplyDelta(target.ID, delta); err != nil {
+		if err := h.ApplyDelta(target.ID, delta); err != nil {
 			return nil, err
 		}
 		res.Measurements = append(res.Measurements, UpdateMeasurement{

@@ -36,6 +36,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"veridp/internal/bloom"
 	"veridp/internal/controller"
@@ -163,18 +164,22 @@ type MonitorConfig struct {
 }
 
 // Monitor is the VeriDP verification server: a path table plus the
-// verdict plumbing. Safe for concurrent use.
+// verdict plumbing. Safe for concurrent use from any number of goroutines:
+// report verification runs lock-free against an atomically-published
+// snapshot of the path table (core.Handle), so a stream of HandleReport
+// calls scales with cores and never blocks behind a table rebuild.
 type Monitor struct {
 	cfg MonitorConfig
 
-	mu    sync.Mutex
-	table *core.PathTable
-	net   *Network
+	handle *core.Handle
+	net    *Network
 
-	verified uint64
-	violated uint64
-	reasons  map[string]uint64
-	blames   map[SwitchID]uint64
+	verified atomic.Uint64
+	violated atomic.Uint64
+
+	mu      sync.Mutex
+	reasons map[string]uint64   // guarded by mu
+	blames  map[SwitchID]uint64 // guarded by mu
 }
 
 // NewMonitor builds a monitor over the network and the control plane's
@@ -191,7 +196,7 @@ func NewMonitor(net *Network, logical map[SwitchID]*flowtable.SwitchConfig, cfg 
 	}
 	return &Monitor{
 		cfg:     cfg,
-		table:   b.Build(),
+		handle:  core.NewHandle(b.Build()),
 		net:     net,
 		reasons: make(map[string]uint64),
 		blames:  make(map[SwitchID]uint64),
@@ -200,75 +205,83 @@ func NewMonitor(net *Network, logical map[SwitchID]*flowtable.SwitchConfig, cfg 
 
 // HandleReport verifies one tag report, dispatching the configured
 // callbacks. It implements the data plane's report-sink interface, so a
-// Monitor can be wired directly into an Emulation or a UDP collector.
-// Callbacks run with the monitor's lock released, so they may call back
-// into the Monitor (e.g. OnViolation invoking Repair for self-healing).
+// Monitor can be wired directly into an Emulation or a UDP collector. The
+// verification itself is lock-free and allocation-free (the Figure 13
+// hot path); only a failed report takes the monitor's locks, for
+// localization and the violation breakdowns. Callbacks run with every
+// lock released, so they may call back into the Monitor (e.g. OnViolation
+// invoking Repair for self-healing).
 func (m *Monitor) HandleReport(r *Report) {
-	m.mu.Lock()
-	v := m.table.Verify(r)
+	v := m.handle.Verify(r)
 	if v.OK {
-		m.verified++
-		cb := m.cfg.OnVerified
-		m.mu.Unlock()
-		if cb != nil {
+		m.verified.Add(1)
+		if cb := m.cfg.OnVerified; cb != nil {
 			cb(r)
 		}
 		return
 	}
-	m.violated++
+	m.violated.Add(1)
+	m.mu.Lock()
 	m.reasons[v.Reason.String()]++
-	cb := m.cfg.OnViolation
-	var viol Violation
-	sw, candidates, ok := m.table.Localize(r)
+	m.mu.Unlock()
+	// Localization builds BDDs, which extends the shared table — Inspect
+	// serializes it against concurrent path-table updates.
+	var sw SwitchID
+	var candidates []Path
+	var ok bool
+	m.handle.Inspect(func(pt *core.PathTable) {
+		sw, candidates, ok = pt.Localize(r)
+	})
 	if ok {
+		m.mu.Lock()
 		m.blames[sw]++
+		m.mu.Unlock()
 	}
-	if cb != nil {
-		viol = Violation{
+	if cb := m.cfg.OnViolation; cb != nil {
+		cb(Violation{
 			Report:       r,
 			Reason:       v.Reason.String(),
 			Localized:    ok,
 			FaultySwitch: sw,
 			Candidates:   candidates,
-		}
-	}
-	m.mu.Unlock()
-	if cb != nil {
-		cb(viol)
+		})
 	}
 }
 
 // Verify checks one report without firing callbacks, returning whether it
-// passed and the failure reason otherwise.
+// passed and the failure reason otherwise. Lock-free.
 func (m *Monitor) Verify(r *Report) (bool, string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	v := m.table.Verify(r)
+	v := m.handle.Verify(r)
 	return v.OK, v.Reason.String()
 }
 
 // Stats returns the running verified/violated counters.
 func (m *Monitor) Stats() (verified, violated uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.verified, m.violated
+	return m.verified.Load(), m.violated.Load()
 }
 
 // PathTable exposes the underlying table for inspection (stats, entries).
-// Callers must not mutate it concurrently with HandleReport.
-func (m *Monitor) PathTable() *core.PathTable { return m.table }
+// Callers must not use it concurrently with HandleReport or rule updates;
+// concurrent deployments read through Handle instead.
+func (m *Monitor) PathTable() *core.PathTable { return m.handle.Table() }
+
+// Handle exposes the snapshot-publication handle, for callers that verify
+// reports or apply §4.4 deltas from their own goroutines.
+func (m *Monitor) Handle() *core.Handle { return m.handle }
 
 // WriteMetrics emits the monitor's counters in the Prometheus text
 // exposition format: verified/violated totals, violations by reason,
 // localizations by blamed switch, and path-table gauges.
 func (m *Monitor) WriteMetrics(w io.Writer) error {
+	// Stats compacts the table in place, so it needs the update lock.
+	var st core.Stats
+	m.handle.Inspect(func(pt *core.PathTable) { st = pt.Stats() })
 	m.mu.Lock()
-	st := m.table.Stats()
 	var b strings.Builder
 	fmt.Fprintf(&b, "# TYPE veridp_reports_verified_total counter\n")
-	fmt.Fprintf(&b, "veridp_reports_verified_total %d\n", m.verified)
+	fmt.Fprintf(&b, "veridp_reports_verified_total %d\n", m.verified.Load())
 	fmt.Fprintf(&b, "# TYPE veridp_reports_violated_total counter\n")
-	fmt.Fprintf(&b, "veridp_reports_violated_total %d\n", m.violated)
+	fmt.Fprintf(&b, "veridp_reports_violated_total %d\n", m.violated.Load())
 	fmt.Fprintf(&b, "# TYPE veridp_violations_total counter\n")
 	reasons := make([]string, 0, len(m.reasons))
 	for r := range m.reasons {
@@ -317,12 +330,13 @@ type RuleInstaller = core.RuleInstaller
 // future-work item (2), automatic flow-table repair. It returns the blamed
 // switch.
 func (m *Monitor) Repair(r *Report, inst RuleInstaller) (SwitchID, error) {
-	// Plan under the lock (it reads the path table), push the FlowMods
-	// outside it: the installer may write to a real southbound channel,
-	// and one stuck switch must not wedge verification for all the others.
-	m.mu.Lock()
-	plan, err := m.table.PlanRepair(r)
-	m.mu.Unlock()
+	// Plan under the update lock (planning reads the path table and builds
+	// BDDs), push the FlowMods outside it: the installer may write to a
+	// real southbound channel, and one stuck switch must not wedge table
+	// updates for all the others.
+	var plan *core.RepairPlan
+	var err error
+	m.handle.Inspect(func(pt *core.PathTable) { plan, err = pt.PlanRepair(r) })
 	if err != nil {
 		return 0, err
 	}
@@ -340,29 +354,33 @@ func (m *Monitor) Repair(r *Report, inst RuleInstaller) (SwitchID, error) {
 // core.PathTable.ApplyDelta instead.
 func (m *Monitor) ProxyHooks(logical map[SwitchID]*flowtable.SwitchConfig) openflow.ProxyHooks {
 	rebuild := func(sw SwitchID, f *openflow.FlowMod) {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		cfg, ok := logical[sw]
-		if !ok {
-			return
-		}
-		switch f.Command {
-		case openflow.FlowAdd:
-			r := f.Rule
-			r.ID = f.RuleID
-			cfg.Table.Add(&r)
-		case openflow.FlowDelete:
-			cfg.Table.Delete(f.RuleID)
-		case openflow.FlowModify:
-			cfg.Table.Modify(f.RuleID, func(r *Rule) {
-				r.Priority = f.Rule.Priority
-				r.Match = f.Rule.Match
-				r.Action = f.Rule.Action
-				r.OutPort = f.Rule.OutPort
-			})
-		}
-		b := &core.Builder{Net: m.net, Space: header.NewSpace(), Params: m.cfg.Params, Configs: logical}
-		m.table = b.Build()
+		// Swap serializes the logical-config edit and the rebuild against
+		// all other table updates, then publishes the new table in one
+		// atomic snapshot; in-flight verifications finish against the old
+		// one.
+		m.handle.Swap(func(old *core.PathTable) *core.PathTable {
+			cfg, ok := logical[sw]
+			if !ok {
+				return old
+			}
+			switch f.Command {
+			case openflow.FlowAdd:
+				r := f.Rule
+				r.ID = f.RuleID
+				cfg.Table.Add(&r)
+			case openflow.FlowDelete:
+				cfg.Table.Delete(f.RuleID)
+			case openflow.FlowModify:
+				cfg.Table.Modify(f.RuleID, func(r *Rule) {
+					r.Priority = f.Rule.Priority
+					r.Match = f.Rule.Match
+					r.Action = f.Rule.Action
+					r.OutPort = f.Rule.OutPort
+				})
+			}
+			b := &core.Builder{Net: m.net, Space: header.NewSpace(), Params: m.cfg.Params, Configs: logical}
+			return b.Build()
+		})
 	}
 	return openflow.ProxyHooks{OnFlowMod: rebuild}
 }
