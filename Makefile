@@ -57,13 +57,13 @@ fuzz:
 # benchstat for before/after comparisons) plus a JSON rendering committed
 # as the tracked baseline.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) $(BENCH_PKGS) | tee BENCH.txt
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) $(BENCH_PKGS) | tee BENCH.txt
 	$(GO) run ./cmd/bench2json < BENCH.txt > BENCH_baseline.json
 	@echo "wrote BENCH.txt and BENCH_baseline.json"
 
 # One iteration per benchmark: proves every benchmark still compiles and
 # runs. CI uses this non-gating; it says nothing about performance.
 bench-smoke:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime 1x -count 1 $(BENCH_PKGS)
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime 1x -count 1 $(BENCH_PKGS)
 
 check: vet fmt lint race

@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+// The allocation columns -benchmem adds (B/op, allocs/op) must survive
+// into the metrics map alongside ns/op and custom metrics — the
+// bench-smoke job watches allocs/op to spot hot-path regressions.
+func TestParseBenchLineBenchmem(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkVerifyReport-4   	  746948	      1613 ns/op	       0 B/op	       0 allocs/op")
+	if !ok {
+		t.Fatal("parseBenchLine rejected a -benchmem line")
+	}
+	if r.Name != "BenchmarkVerifyReport-4" || r.Iters != 746948 {
+		t.Errorf("name/iters = %q/%d, want BenchmarkVerifyReport-4/746948", r.Name, r.Iters)
+	}
+	want := map[string]float64{"ns/op": 1613, "B/op": 0, "allocs/op": 0}
+	for unit, v := range want {
+		got, present := r.Metrics[unit]
+		if !present {
+			t.Errorf("metric %q missing from %v", unit, r.Metrics)
+		} else if got != v {
+			t.Errorf("metric %q = %v, want %v", unit, got, v)
+		}
+	}
+}
+
+// Custom testing.B metrics and the allocation columns coexist on one line.
+func TestParseBenchLineCustomMetrics(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkCollector-8   	   12345	     98765 ns/op	        1.000 reports/op	     128 B/op	       2 allocs/op")
+	if !ok {
+		t.Fatal("parseBenchLine rejected a mixed-metrics line")
+	}
+	for _, unit := range []string{"ns/op", "reports/op", "B/op", "allocs/op"} {
+		if _, present := r.Metrics[unit]; !present {
+			t.Errorf("metric %q missing from %v", unit, r.Metrics)
+		}
+	}
+	if r.Metrics["allocs/op"] != 2 || r.Metrics["B/op"] != 128 {
+		t.Errorf("allocation metrics = %v, want B/op=128 allocs/op=2", r.Metrics)
+	}
+}
+
+func TestParseBenchLineRejectsProse(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken-4",                    // no iteration count
+		"BenchmarkBroken-4 notanumber 1 ns/op", // bad iteration count
+		"BenchmarkBroken-4 100 fast ns/op",     // bad value
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine accepted %q", line)
+		}
+	}
+}

@@ -16,6 +16,13 @@
 // -prune-baseline drops entries no longer matched by any current finding
 // (the entries ApplyBaseline would count as stale) and keeps the rest.
 //
+// -stale-suppressions is the suppression-side maintenance gate: it
+// reports every `//lint:ignore` comment that silenced nothing in this
+// run and exits 1 when any exist (0 when all suppressions still earn
+// their keep). Only directives naming checkers that actually ran are
+// judged, so a -checkers-restricted run never condemns a suppression it
+// did not evaluate.
+//
 // Findings silenced by `//lint:ignore <checker> <reason>` comments and
 // findings matched by the baseline are counted in the summary rather
 // than silently dropped; `-json` emits the full machine-readable result.
@@ -45,11 +52,14 @@ type jsonOutput struct {
 	Diagnostics []jsonDiag `json:"diagnostics"`
 	Suppressed  []jsonDiag `json:"suppressed"`
 	Baselined   []jsonDiag `json:"baselined"`
-	Summary     struct {
-		Findings      int `json:"findings"`
-		Suppressed    int `json:"suppressed"`
-		Baselined     int `json:"baselined"`
-		StaleBaseline int `json:"staleBaseline"`
+	// StaleSuppressions is populated only under -stale-suppressions.
+	StaleSuppressions []lint.StaleSuppression `json:"staleSuppressions,omitempty"`
+	Summary           struct {
+		Findings          int `json:"findings"`
+		Suppressed        int `json:"suppressed"`
+		Baselined         int `json:"baselined"`
+		StaleBaseline     int `json:"staleBaseline"`
+		StaleSuppressions int `json:"staleSuppressions,omitempty"`
 	} `json:"summary"`
 }
 
@@ -66,6 +76,7 @@ func run(stdout, stderr io.Writer, args []string) int {
 	baselinePath := fs.String("baseline", "", "baseline file of known findings to tolerate")
 	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
 	pruneBaseline := fs.String("prune-baseline", "", "rewrite this baseline file dropping entries no longer reported, and exit 0")
+	staleSuppr := fs.Bool("stale-suppressions", false, "report //lint:ignore comments that silence nothing (maintenance gate: exit 1 when any are stale)")
 	list := fs.Bool("list", false, "list available checkers and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: veridp-lint [flags] [packages]\n\nExit status: 0 clean, 1 findings, 2 usage/load error.\n\nCheckers:\n")
@@ -164,6 +175,16 @@ func run(stdout, stderr io.Writer, args []string) int {
 		return 0
 	}
 
+	var staleSupprs []lint.StaleSuppression
+	if *staleSuppr {
+		staleSupprs = lint.StaleSuppressions(pkgs, analyzers, result)
+		for i := range staleSupprs {
+			if r, err := filepath.Rel(cwd, staleSupprs[i].File); err == nil && !strings.HasPrefix(r, "..") {
+				staleSupprs[i].File = filepath.ToSlash(r)
+			}
+		}
+	}
+
 	fresh := result.Diags
 	var baselined []lint.Diagnostic
 	stale := 0
@@ -205,10 +226,12 @@ func run(stdout, stderr io.Writer, args []string) int {
 		for _, d := range baselined {
 			out.Baselined = append(out.Baselined, rel(d))
 		}
+		out.StaleSuppressions = staleSupprs
 		out.Summary.Findings = len(fresh)
 		out.Summary.Suppressed = len(result.Suppressed)
 		out.Summary.Baselined = len(baselined)
 		out.Summary.StaleBaseline = stale
+		out.Summary.StaleSuppressions = len(staleSupprs)
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -220,6 +243,10 @@ func run(stdout, stderr io.Writer, args []string) int {
 			j := rel(d)
 			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", j.File, j.Line, j.Column, j.Message, j.Checker)
 		}
+		for _, s := range staleSupprs {
+			fmt.Fprintf(stdout, "%s:%d: stale //lint:ignore %s (%q) silences nothing — remove it\n",
+				s.File, s.Line, strings.Join(s.Checkers, ","), s.Reason)
+		}
 	}
 
 	summary := fmt.Sprintf("veridp-lint: %d finding(s), %d suppressed, %d baselined",
@@ -227,8 +254,11 @@ func run(stdout, stderr io.Writer, args []string) int {
 	if stale > 0 {
 		summary += fmt.Sprintf(", %d stale baseline entr(y/ies)", stale)
 	}
+	if *staleSuppr {
+		summary += fmt.Sprintf(", %d stale suppression(s)", len(staleSupprs))
+	}
 	fmt.Fprintln(stderr, summary)
-	if len(fresh) > 0 {
+	if len(fresh) > 0 || len(staleSupprs) > 0 {
 		return 1
 	}
 	return 0

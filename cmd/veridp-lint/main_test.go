@@ -212,6 +212,66 @@ func TestSuppressionCounted(t *testing.T) {
 	}
 }
 
+func TestStaleSuppressionsGolden(t *testing.T) {
+	// One live suppression (it silences the real lockedblock finding) and
+	// one stale directive excusing a violation that no longer exists.
+	suppressed := strings.Replace(violation, "\tx.ch <- 1\n",
+		"\t//lint:ignore lockedblock known send under lock\n\tx.ch <- 1\n", 1)
+	stale := `package scratch
+
+//lint:ignore goleak the goroutine this excused was removed
+func nothingHere() {}
+`
+	scratch(t, map[string]string{"main.go": suppressed, "stale.go": stale})
+
+	// Without the flag the tree is clean: the gate contract is unchanged.
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"./..."}); code != 0 {
+		t.Fatalf("exit = %d, want 0 without the flag\nstderr: %s", code, stderr.String())
+	}
+
+	// Maintenance mode reports the stale directive and exits 1.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(&stdout, &stderr, []string{"-stale-suppressions", "./..."}); code != 1 {
+		t.Fatalf("exit = %d, want 1 in maintenance mode\nstderr: %s", code, stderr.String())
+	}
+	wantOut := "stale.go:3: stale //lint:ignore goleak (\"the goroutine this excused was removed\") silences nothing — remove it\n"
+	if stdout.String() != wantOut {
+		t.Errorf("stdout = %q, want %q", stdout.String(), wantOut)
+	}
+	wantSummary := "veridp-lint: 0 finding(s), 1 suppressed, 0 baselined, 1 stale suppression(s)\n"
+	if stderr.String() != wantSummary {
+		t.Errorf("stderr = %q, want %q", stderr.String(), wantSummary)
+	}
+
+	// A run restricted to checkers that exclude goleak must not condemn
+	// the goleak suppression it never evaluated.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(&stdout, &stderr, []string{"-stale-suppressions", "-checkers", "lockedblock", "./..."}); code != 0 {
+		t.Fatalf("restricted run exit = %d, want 0\nstdout: %s", code, stdout.String())
+	}
+
+	// JSON carries the stale list and count.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(&stdout, &stderr, []string{"-stale-suppressions", "-json", "./..."}); code != 1 {
+		t.Fatalf("json run exit = %d, want 1", code)
+	}
+	var out jsonOutput
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(out.StaleSuppressions) != 1 || out.Summary.StaleSuppressions != 1 {
+		t.Fatalf("staleSuppressions = %+v, want exactly one", out)
+	}
+	s := out.StaleSuppressions[0]
+	if s.File != "stale.go" || s.Line != 3 || len(s.Checkers) != 1 || s.Checkers[0] != "goleak" {
+		t.Errorf("stale = %+v, want goleak at stale.go:3", s)
+	}
+}
+
 func TestListCheckers(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run(&stdout, &stderr, []string{"-list"}); code != 0 {

@@ -83,7 +83,7 @@ const (
 // lossy by design: a collision overwrites, costing at worst a recomputation,
 // never correctness.
 type Table struct {
-	nodes   []node
+	nodes   []node  // append-only: published Views alias this array
 	buckets []int32 // unique table: node index or 0 = empty
 
 	opKeys  []uint64 // packed (a, b, op); 0 = empty slot
@@ -593,6 +593,8 @@ func (t *Table) NodeCount(f Ref) int {
 
 // Eval evaluates f under a complete assignment (one byte per variable, 0 or
 // 1) and reports whether the assignment satisfies f.
+//
+//lint:allocfree
 func (t *Table) Eval(f Ref, assignment []byte) bool {
 	t.check(f)
 	if len(assignment) != t.numVars {
@@ -644,10 +646,14 @@ func (t *Table) View() View {
 func (v View) NumNodes() int { return len(v.nodes) }
 
 // Contains reports whether r was already allocated when the view was taken.
+//
+//lint:allocfree
 func (v View) Contains(r Ref) bool { return r >= 0 && int(r) < len(v.nodes) }
 
 // Eval evaluates f under a complete assignment, exactly like Table.Eval but
 // against the immutable snapshot — the lock-free read path of Algorithm 3.
+//
+//lint:allocfree
 func (v View) Eval(f Ref, assignment []byte) bool {
 	if f < 0 || int(f) >= len(v.nodes) {
 		panic(fmt.Sprintf("bdd: ref %d outside view (size %d)", f, len(v.nodes)))

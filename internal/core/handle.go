@@ -44,14 +44,16 @@ import (
 // one Snapshot observe the same fully-applied update sequence. Entries
 // reachable from a Snapshot must not be mutated.
 type Snapshot struct {
-	base    map[tableKey][]*PathEntry // shared with older snapshots; immutable
-	overlay map[tableKey][]*PathEntry // recently-updated pairs; immutable; nil slice = pair gone
-	view    bdd.View
-	space   *header.Space
-	params  bloom.Params
+	base    map[tableKey][]*PathEntry // frozen after publish; shared with older snapshots
+	overlay map[tableKey][]*PathEntry // frozen after publish; recently-updated pairs; nil slice = pair gone
+	view    bdd.View                  // frozen after publish
+	space   *header.Space             // frozen after publish
+	params  bloom.Params              // frozen after publish
 }
 
 // lookup resolves a pair against overlay-then-base.
+//
+//lint:allocfree
 func (s *Snapshot) lookup(k tableKey) []*PathEntry {
 	if s.overlay != nil {
 		if es, ok := s.overlay[k]; ok {
@@ -63,6 +65,8 @@ func (s *Snapshot) lookup(k tableKey) []*PathEntry {
 
 // Lookup returns the live paths for an ⟨inport, outport⟩ pair. The returned
 // entries are frozen: safe to read from any goroutine, never mutated.
+//
+//lint:allocfree
 func (s *Snapshot) Lookup(in, out topo.PortKey) []*PathEntry {
 	return s.lookup(tableKey{in, out})
 }
@@ -74,6 +78,8 @@ func (s *Snapshot) Params() bloom.Params { return s.params }
 // Verify implements Algorithm 3 on one tag report against this snapshot.
 // It is the lock-free twin of PathTable.Verify: safe from any number of
 // goroutines concurrently with table updates, and allocation-free.
+//
+//lint:allocfree
 func (s *Snapshot) Verify(r *packet.Report) Verdict {
 	paths := s.lookup(tableKey{r.Inport, r.Outport})
 	if len(paths) == 0 {
@@ -119,12 +125,18 @@ func NewHandle(pt *PathTable) *Handle {
 // Current returns the latest published Snapshot. Callers that verify a
 // batch of reports against one consistent table state hold on to the
 // returned snapshot rather than calling h.Verify per report.
+//
+//lint:allocfree
 func (h *Handle) Current() *Snapshot { return h.cur.Load() }
 
 // Verify checks one tag report against the current snapshot, lock-free.
+//
+//lint:allocfree
 func (h *Handle) Verify(r *packet.Report) Verdict { return h.cur.Load().Verify(r) }
 
 // Lookup returns the current snapshot's live paths for a pair, lock-free.
+//
+//lint:allocfree
 func (h *Handle) Lookup(in, out topo.PortKey) []*PathEntry {
 	return h.cur.Load().Lookup(in, out)
 }

@@ -1,0 +1,122 @@
+//go:build race
+
+// Race-gated storm: Compact and Swap republish the whole table while
+// ApplyDelta churns the overlay and readers verify lock-free. The plain
+// test suite covers each update method's correctness single-threaded
+// (TestHandleMatchesTable); this file exists for what only the race
+// detector can prove — that freezeAll under a maintenance fold or a
+// wholesale swap has the happens-before edges to be read concurrently.
+
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"veridp/internal/flowtable"
+	"veridp/internal/packet"
+)
+
+// TestHandleCompactSwapStorm runs three writers against pinned-snapshot
+// readers: one flips the host route through ApplyDelta (so Compact has a
+// live overlay to fold), one calls Compact in a loop, one calls Swap with
+// a republish-unchanged build. The reader invariant is the same as
+// TestHandleStormOneVerdict — each pinned snapshot verifies exactly one
+// of the two reports — and must survive the maintenance churn: a Compact
+// or Swap that published a half-frozen base would verify both or neither.
+func TestHandleCompactSwapStorm(t *testing.T) {
+	d := newDiamondEnv(t)
+	h := NewHandle(d.pt)
+
+	tagA := d.tagFor(t, h.Current()) // via S2
+	host32 := flowtable.Prefix{IP: 0x0a000201, Len: 32}
+	id, delta, err := d.tree.Insert(host32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ApplyDelta(d.s1, delta); err != nil {
+		t.Fatal(err)
+	}
+	tagB := d.tagFor(t, h.Current()) // direct S1→S3
+	if tagA == tagB {
+		t.Fatal("both routes fold the same tag; the storm test needs them distinct")
+	}
+	rA := &packet.Report{Inport: d.pair[0], Outport: d.pair[1], Header: d.hdr, Tag: tagA}
+	rB := &packet.Report{Inport: d.pair[0], Outport: d.pair[1], Header: d.hdr, Tag: tagB}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Current() // pin ONE snapshot for both verdicts
+				vA, vB := s.Verify(rA), s.Verify(rB)
+				if vA.OK == vB.OK {
+					t.Errorf("torn snapshot: before-report OK=%v, after-report OK=%v", vA.OK, vB.OK)
+					return
+				}
+				for _, v := range []Verdict{vA, vB} {
+					if !v.OK && v.Reason != FailTagMismatch {
+						t.Errorf("losing report failed with %v, want FailTagMismatch", v.Reason)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Maintenance writers: Compact folds whatever overlay the delta flips
+	// have built up; Swap republishes the (possibly mid-churn) table
+	// wholesale. Both serialize with ApplyDelta on h.mu, so the reader
+	// invariant must hold across every interleaving.
+	maintDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-maintDone:
+				return
+			default:
+			}
+			h.Compact()
+			h.Swap(func(old *PathTable) *PathTable { return old })
+		}
+	}()
+
+	const flips = 100
+	for i := 0; i < flips; i++ {
+		delta, err := d.tree.Remove(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.ApplyDelta(d.s1, delta); err != nil {
+			t.Fatal(err)
+		}
+		if id, delta, err = d.tree.Insert(host32, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.ApplyDelta(d.s1, delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(maintDone)
+	close(stop)
+	wg.Wait()
+
+	// After the dust settles the snapshot still matches the writer table's
+	// final state: the host route is installed, so rB wins.
+	if v := h.Verify(rB); !v.OK {
+		t.Errorf("post-storm snapshot lost the final route: %v", v.Reason)
+	}
+	if v := h.Verify(rA); v.OK {
+		t.Error("post-storm snapshot still verifies the stale route")
+	}
+}

@@ -252,6 +252,8 @@ func (s *Space) HeaderSet(h Header) bdd.Ref {
 // It evaluates the BDD directly rather than building the singleton cube and
 // keeps the assignment on the stack, so the per-report verification path is
 // allocation-free (Figure 13 is a microseconds-per-report budget).
+//
+//lint:allocfree
 func (s *Space) Contains(set bdd.Ref, h Header) bool {
 	var a [NumVars]byte
 	fillAssignment(&a, h)
@@ -262,6 +264,8 @@ func (s *Space) Contains(set bdd.Ref, h Header) bool {
 // of the live table — the lock-free verification path: many goroutines may
 // call it concurrently while a writer keeps extending the underlying table
 // (the view's refs stay valid because the node array is append-only).
+//
+//lint:allocfree
 func (s *Space) ContainsView(v bdd.View, set bdd.Ref, h Header) bool {
 	var a [NumVars]byte
 	fillAssignment(&a, h)
@@ -277,17 +281,23 @@ func (s *Space) assignment(h Header) []byte {
 }
 
 // fillAssignment writes h's bits into a caller-provided array.
+//
+//lint:allocfree
 func fillAssignment(a *[NumVars]byte, h Header) {
-	fill := func(offset, bits int, value uint32) {
-		for i := 0; i < bits; i++ {
-			a[offset+i] = byte(value >> (bits - 1 - i) & 1)
-		}
+	fillField(a, SrcIPOffset, SrcIPBits, h.SrcIP)
+	fillField(a, DstIPOffset, DstIPBits, h.DstIP)
+	fillField(a, ProtoOffset, ProtoBits, uint32(h.Proto))
+	fillField(a, SrcPortOffset, SrcPortBits, uint32(h.SrcPort))
+	fillField(a, DstPortOffset, DstPortBits, uint32(h.DstPort))
+}
+
+// fillField writes one field's big-endian bits into the assignment array.
+//
+//lint:allocfree
+func fillField(a *[NumVars]byte, offset, bits int, value uint32) {
+	for i := 0; i < bits; i++ {
+		a[offset+i] = byte(value >> (bits - 1 - i) & 1)
 	}
-	fill(SrcIPOffset, SrcIPBits, h.SrcIP)
-	fill(DstIPOffset, DstIPBits, h.DstIP)
-	fill(ProtoOffset, ProtoBits, uint32(h.Proto))
-	fill(SrcPortOffset, SrcPortBits, uint32(h.SrcPort))
-	fill(DstPortOffset, DstPortBits, uint32(h.DstPort))
 }
 
 // Witness extracts one concrete header from a non-empty header set,

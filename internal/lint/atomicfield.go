@@ -1,0 +1,291 @@
+// Checker atomicfield: all-or-nothing atomicity. A word that is ever
+// accessed through sync/atomic is part of a lock-free protocol — the
+// collector's per-shard counters, the monitor's verdict totals, the
+// snapshot pointer — and a single plain load or store of the same word
+// is a data race the race detector only catches if a test happens to
+// interleave it. The checker makes the discipline structural, in two
+// halves:
+//
+// Function-style atomics: any field, package variable, or local whose
+// address is passed as the first argument to a sync/atomic function
+// (atomic.AddUint64(&s.hits, 1), ...) is classified atomic, and every
+// other appearance of the same variable — reads, writes, address-takes —
+// anywhere in the program is flagged, citing one representative atomic
+// access site. Identity is the same cross-package key the other checkers
+// use ("pkg.Type.field" / "pkg.var" / local object), so a field
+// atomically updated in one package and plainly read in another is still
+// caught.
+//
+// Typed atomics (atomic.Uint64, atomic.Int64, atomic.Bool, ...,
+// atomic.Pointer[T], atomic.Value): the type system already prevents
+// plain arithmetic, but not copying — `x := s.counter` smuggles the
+// value out of the protocol (and go vet's copylocks only catches some
+// shapes). Here a typed-atomic expression may only appear as a method
+// receiver (s.counter.Add(1)) or an address-take (&s.counter); any other
+// use by value is flagged. Initialize typed atomics with their zero
+// value inside composite literals rather than by assignment.
+//
+// The checker is flow-blind on purpose: a plain write that is provably
+// before any goroutine starts is still flagged. Constructors should
+// publish zero values or use the atomic API — the uniformity is what
+// makes the sharding and verdict-cache work safe to refactor.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicField enforces that atomically-accessed state is accessed
+// atomically everywhere.
+var AtomicField = &Analyzer{
+	Name:   "atomicfield",
+	Doc:    "state accessed via sync/atomic anywhere must be accessed atomically everywhere; typed atomics must not be copied by value",
+	Global: true,
+	Run:    runAtomicField,
+}
+
+// atomicFuncPrefixes match the sync/atomic function families whose first
+// argument is the address of the word being accessed.
+var atomicFuncPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "Or", "And"}
+
+// typedAtomicNames are the sync/atomic struct types with method APIs.
+var typedAtomicNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// atomicClass is one atomically-accessed variable.
+type atomicClass struct {
+	display string    // expression text at the classifying site
+	pos     token.Pos // representative atomic access, for the diagnostic
+}
+
+type afieldState struct {
+	pass    *Pass
+	prog    *Program
+	classes map[string]*atomicClass // chanKey → class
+	allowed map[token.Pos]bool      // operand positions inside atomic calls
+}
+
+func runAtomicField(pass *Pass) {
+	st := &afieldState{
+		pass:    pass,
+		prog:    pass.Prog,
+		classes: make(map[string]*atomicClass),
+		allowed: make(map[token.Pos]bool),
+	}
+	st.collectClasses()
+	st.checkPlainAccess()
+	st.checkTypedCopies()
+}
+
+// isAtomicPkgFunc reports whether call is sync/atomic.<Family><Width>(...)
+// and returns its first argument.
+func isAtomicPkgFunc(pkg *Package, call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return nil, false
+	}
+	for _, prefix := range atomicFuncPrefixes {
+		if strings.HasPrefix(sel.Sel.Name, prefix) {
+			return call.Args[0], true
+		}
+	}
+	return nil, false
+}
+
+// collectClasses finds every &x handed to a sync/atomic function and
+// classifies x as atomic.
+func (st *afieldState) collectClasses() {
+	for _, pkg := range st.prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				arg, ok := isAtomicPkgFunc(pkg, call)
+				if !ok {
+					return true
+				}
+				addr, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				inner := ast.Unparen(addr.X)
+				key := chanKey(pkg, inner)
+				if key == "" {
+					return true
+				}
+				if st.classes[key] == nil {
+					st.classes[key] = &atomicClass{display: exprText(inner), pos: inner.Pos()}
+				}
+				st.allowed[inner.Pos()] = true
+				return true
+			})
+		}
+	}
+}
+
+// checkPlainAccess flags every appearance of a classified variable that
+// is not one of the recorded atomic operands.
+func (st *afieldState) checkPlainAccess() {
+	if len(st.classes) == 0 {
+		return
+	}
+	type finding struct {
+		pos   token.Pos
+		class *atomicClass
+	}
+	var finds []finding
+	for _, pkg := range st.prog.Pkgs {
+		for _, file := range pkg.Files {
+			var stack []ast.Node
+			ast.Inspect(file, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				defer func() { stack = append(stack, n) }()
+				e, ok := n.(ast.Expr)
+				if !ok {
+					return true
+				}
+				switch e.(type) {
+				case *ast.Ident, *ast.SelectorExpr:
+				default:
+					return true
+				}
+				if len(stack) > 0 {
+					// The Sel half of a selector is reported via the whole
+					// selector expression; skip it here.
+					if sel, isSel := stack[len(stack)-1].(*ast.SelectorExpr); isSel && sel.Sel == n {
+						return true
+					}
+				}
+				key := chanKey(pkg, e)
+				if key == "" {
+					return true
+				}
+				class, classified := st.classes[key]
+				if !classified || st.allowed[ast.Unparen(e).Pos()] {
+					return true
+				}
+				// Declarations of the variable itself are not accesses.
+				if id, isIdent := e.(*ast.Ident); isIdent {
+					if _, isDef := pkg.Info.Defs[id]; isDef {
+						return true
+					}
+				}
+				finds = append(finds, finding{e.Pos(), class})
+				// Returning true is safe: the inner chain never re-flags —
+				// the Sel ident is filtered above and the base roots at a
+				// different (unclassified) variable.
+				return true
+			})
+		}
+	}
+	sort.Slice(finds, func(i, j int) bool { return finds[i].pos < finds[j].pos })
+	for _, f := range finds {
+		st.pass.Reportf(f.pos,
+			"%s is accessed with sync/atomic at %s; this plain access races with it — use the atomic API everywhere",
+			f.class.display, st.prog.shortPos(f.class.pos))
+	}
+}
+
+// typedAtomic returns the sync/atomic type name when t is a typed
+// atomic (atomic.Uint64, atomic.Pointer[T], ...).
+func typedAtomic(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	if !typedAtomicNames[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// checkTypedCopies flags typed-atomic values used outside the two
+// allowed contexts: method receiver and address-take.
+func (st *afieldState) checkTypedCopies() {
+	for _, pkg := range st.prog.Pkgs {
+		for _, file := range pkg.Files {
+			var stack []ast.Node
+			ast.Inspect(file, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				defer func() { stack = append(stack, n) }()
+				e, ok := n.(ast.Expr)
+				if !ok {
+					return true
+				}
+				tv, ok := pkg.Info.Types[e]
+				if !ok || tv.IsType() || tv.Type == nil {
+					return true
+				}
+				name, ok := typedAtomic(tv.Type)
+				if !ok {
+					return true
+				}
+				if _, isLit := e.(*ast.CompositeLit); isLit {
+					return true // zero-value construction inside a literal
+				}
+				// Climb past parens to the effective parent (n itself is not
+				// pushed until this callback returns, so the parent is the
+				// current stack top).
+				parent := parentAbove(stack, len(stack))
+				switch p := parent.(type) {
+				case *ast.SelectorExpr:
+					if p.Sel == n {
+						return true // field name inside the selector; whole expr carries the check
+					}
+					return true // receiver of a method (s.counter.Add) or deeper field path
+				case *ast.UnaryExpr:
+					if p.Op == token.AND {
+						return true // &s.counter — pointer to the atomic, fine
+					}
+				case *ast.KeyValueExpr:
+					if p.Key == n {
+						return true // struct-literal field name
+					}
+				}
+				st.pass.Reportf(e.Pos(),
+					"sync/atomic.%s used by value — typed atomics must be addressed (&x) or used as method receivers, never copied",
+					name)
+				return true
+			})
+		}
+	}
+}
+
+// parentAbove walks the node stack from index i-1 down past ParenExprs
+// and returns the first effective ancestor.
+func parentAbove(stack []ast.Node, i int) ast.Node {
+	for j := i - 1; j >= 0; j-- {
+		if _, isParen := stack[j].(*ast.ParenExpr); isParen {
+			continue
+		}
+		return stack[j]
+	}
+	return nil
+}

@@ -79,6 +79,9 @@ var Analyzers = []*Analyzer{
 	Lifecycle,
 	WireTaint,
 	EnumSwitch,
+	SnapFreeze,
+	AtomicField,
+	AllocFree,
 }
 
 // ByName returns the analyzer registered under name, or nil.

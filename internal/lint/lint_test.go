@@ -141,6 +141,54 @@ func TestLockOrderChain(t *testing.T) {
 	}
 }
 
+// TestCheckerInteraction pins the composition contract: one function can
+// be both an //lint:allocfree hot path and a snapfreeze publication site,
+// and the two checkers report independently — each fires on its own
+// violation at a distinct position, neither masking the other. (The
+// interaction corpus is not in the TestCheckerCorpus loop because it
+// belongs to no single analyzer.)
+func TestCheckerInteraction(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "interaction", "*.go"))
+	if err != nil || len(files) < 2 {
+		t.Fatalf("interaction corpus: files=%v err=%v (want good.go and bad.go)", files, err)
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, corpusExports(t))
+	pkg, err := CheckFiles(fset, imp, "veridp/lint/corpus/interaction", files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{SnapFreeze, AllocFree}).Diags
+
+	lines := make(map[string][]int) // checker -> bad.go lines it fired on
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) == "good.go" {
+			t.Errorf("checker fired on the known-good file: %s", d)
+			continue
+		}
+		lines[d.Checker] = append(lines[d.Checker], d.Pos.Line)
+	}
+	af, sf := lines["allocfree"], lines["snapfreeze"]
+	if len(af) != 1 || len(sf) != 1 {
+		t.Fatalf("want exactly one finding per checker, got allocfree=%v snapfreeze=%v (all: %v)", af, sf, diags)
+	}
+	if af[0] == sf[0] {
+		t.Errorf("both checkers fired on line %d; the corpus seeds violations at distinct positions", af[0])
+	}
+	for _, d := range diags {
+		switch d.Checker {
+		case "allocfree":
+			if !strings.Contains(d.Message, "address-taken composite literal") {
+				t.Errorf("allocfree diagnostic %q is not about the inline allocation", d.Message)
+			}
+		case "snapfreeze":
+			if !strings.Contains(d.Message, "frozen after publish") {
+				t.Errorf("snapfreeze diagnostic %q is not about the post-publish write", d.Message)
+			}
+		}
+	}
+}
+
 // TestLoadSelf exercises the production loader end-to-end on this very
 // package: list, build export data, parse, type-check.
 func TestLoadSelf(t *testing.T) {

@@ -9,6 +9,7 @@ package lint
 
 import (
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -65,6 +66,74 @@ func collectIgnores(pkgs []*Package) []*ignoreDirective {
 		}
 	}
 	return dirs
+}
+
+// StaleSuppression is one //lint:ignore directive that silenced nothing
+// in a run: the code it excused has moved or been fixed, and the comment
+// is now rot that would mask a future regression at its new location.
+type StaleSuppression struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Checkers []string `json:"checkers"`
+	Reason   string   `json:"reason"`
+}
+
+// StaleSuppressions returns the directives that matched no diagnostic in
+// res. Only directives naming at least one analyzer that actually ran
+// are considered — a run restricted with -checkers must not condemn
+// suppressions for the checkers it skipped. Results are ordered by
+// position.
+func StaleSuppressions(pkgs []*Package, analyzers []*Analyzer, res Result) []StaleSuppression {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	type key struct {
+		file    string
+		line    int
+		checker string
+	}
+	used := make(map[key]bool)
+	for _, d := range res.Suppressed {
+		// A directive covers its own line and the line above the
+		// diagnostic, mirroring applyIgnores.
+		used[key{d.Pos.Filename, d.Pos.Line, d.Checker}] = true
+		used[key{d.Pos.Filename, d.Pos.Line - 1, d.Checker}] = true
+	}
+	var stale []StaleSuppression
+	for _, dir := range collectIgnores(pkgs) {
+		anyRan, anyUsed := false, false
+		for name := range dir.checkers {
+			if !ran[name] {
+				continue
+			}
+			anyRan = true
+			if used[key{dir.file, dir.line, name}] {
+				anyUsed = true
+			}
+		}
+		if !anyRan || anyUsed {
+			continue
+		}
+		names := make([]string, 0, len(dir.checkers))
+		for name := range dir.checkers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		stale = append(stale, StaleSuppression{
+			File:     dir.file,
+			Line:     dir.line,
+			Checkers: names,
+			Reason:   dir.reason,
+		})
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		if stale[i].File != stale[j].File {
+			return stale[i].File < stale[j].File
+		}
+		return stale[i].Line < stale[j].Line
+	})
+	return stale
 }
 
 // applyIgnores splits diags into kept and suppressed. A diagnostic is

@@ -1,0 +1,65 @@
+// Known-bad corpus for the atomicfield checker: words updated through
+// sync/atomic but also read or written plainly (fields, package vars,
+// locals shared with a goroutine), and typed atomics copied by value.
+
+package atomicfield
+
+import "sync/atomic"
+
+// mixed updates hits atomically in one method and touches it plainly in
+// others — the classic torn counter.
+type mixed struct {
+	hits uint64
+}
+
+func (m *mixed) inc() { atomic.AddUint64(&m.hits, 1) }
+
+func (m *mixed) read() uint64 {
+	return m.hits // want "accessed with sync/atomic"
+}
+
+func (m *mixed) reset() {
+	m.hits = 0 // want "accessed with sync/atomic"
+}
+
+func (m *mixed) bump() {
+	m.hits++ // want "accessed with sync/atomic"
+}
+
+// Package-level word with one plain reader.
+var total uint64
+
+func addTotal() { atomic.AddUint64(&total, 1) }
+
+func peekTotal() uint64 {
+	return total // want "accessed with sync/atomic"
+}
+
+// A local shared with a goroutine: atomic in the closure, plain in the
+// return — flow-blind, and rightly so.
+func localMix() uint64 {
+	var n uint64
+	go func() {
+		atomic.AddUint64(&n, 1)
+	}()
+	return n // want "accessed with sync/atomic"
+}
+
+// gauge holds a typed atomic; copying it smuggles the value out of the
+// protocol.
+type gauge struct {
+	n atomic.Int64
+}
+
+func copyOut(g *gauge) atomic.Int64 {
+	return g.n // want "used by value"
+}
+
+func copyLocal(g *gauge) int64 {
+	tmp := g.n // want "used by value"
+	return tmp.Load()
+}
+
+func passByValue(g *gauge, sink func(atomic.Int64)) {
+	sink(g.n) // want "used by value"
+}

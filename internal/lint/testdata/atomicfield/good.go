@@ -1,0 +1,56 @@
+// Known-good corpus for the atomicfield checker: uniformly atomic
+// access to function-style words, typed atomics used only as method
+// receivers or through pointers, and plain fields that never touch
+// sync/atomic staying free.
+
+package atomicfield
+
+import "sync/atomic"
+
+// okCounters uses the function-style API consistently: every access to
+// hits goes through sync/atomic.
+type okCounters struct {
+	hits uint64
+}
+
+func (c *okCounters) inc()         { atomic.AddUint64(&c.hits, 1) }
+func (c *okCounters) read() uint64 { return atomic.LoadUint64(&c.hits) }
+func (c *okCounters) reset()       { atomic.StoreUint64(&c.hits, 0) }
+
+// Package-level word, same discipline.
+var okTotal uint64
+
+func bumpTotal() {
+	atomic.AddUint64(&okTotal, 1)
+	atomic.CompareAndSwapUint64(&okTotal, 1, 2)
+}
+
+// okGauge holds typed atomics: method calls and address-takes are the
+// two permitted uses.
+type okGauge struct {
+	n     atomic.Int64
+	flag  atomic.Bool
+	blob  atomic.Value
+	which atomic.Pointer[okCounters]
+}
+
+func (g *okGauge) work(c *okCounters) int64 {
+	g.n.Add(1)
+	g.flag.Store(true)
+	g.blob.Store("s")
+	g.which.Store(c)
+	p := &g.n // pointer to the atomic, not a copy
+	p.Add(1)
+	return g.n.Load()
+}
+
+// plain never touches sync/atomic, so ordinary access stays ordinary.
+type plain struct {
+	n int
+}
+
+func (p *plain) churn() int {
+	p.n++
+	p.n = 7
+	return p.n
+}

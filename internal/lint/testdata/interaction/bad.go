@@ -1,0 +1,27 @@
+// Interaction corpus: one function is simultaneously an allocation-checked
+// hot path (//lint:allocfree) and a snapfreeze publication site. The two
+// checkers must compose — each fires independently, at its own position:
+// allocfree on the in-function allocation, snapfreeze on the post-publish
+// mutation.
+package interaction
+
+import "sync/atomic"
+
+type snap struct {
+	table []int // frozen after publish
+}
+
+type box struct {
+	cur atomic.Pointer[snap]
+}
+
+// publish allocates its snapshot inline (hot-path violation) and keeps
+// mutating it after the Store (publication violation).
+//
+//lint:allocfree
+func (b *box) publish(vals []int) {
+	s := &snap{} // want "address-taken composite literal"
+	s.table = vals
+	b.cur.Store(s)
+	s.table = nil // want "frozen after publish"
+}

@@ -1,0 +1,26 @@
+package interaction
+
+import "sync/atomic"
+
+type state struct {
+	entries []int // frozen after publish
+}
+
+type holder struct {
+	cur atomic.Pointer[state]
+}
+
+// install is the clean split of the same duties: the caller builds the
+// snapshot off the hot path, and the allocfree-annotated install only
+// stores the finished value.
+//
+//lint:allocfree
+func (h *holder) install(s *state) {
+	h.cur.Store(s)
+}
+
+func build(vals []int) *state {
+	s := &state{}
+	s.entries = vals
+	return s
+}

@@ -71,7 +71,11 @@ func UnmarshalReport(b []byte) (*Report, error) {
 
 // UnmarshalReportInto decodes a wire-form report into r, overwriting every
 // field. It allocates nothing, so callers on a hot receive path can reuse
-// one Report per worker (the collector's zero-alloc datagram loop).
+// one Report per worker (the collector's zero-alloc datagram loop). The
+// error returns may allocate: they are the cold path, taken only for
+// malformed datagrams.
+//
+//lint:allocfree
 func UnmarshalReportInto(b []byte, r *Report) error {
 	if len(b) < ReportLen {
 		return fmt.Errorf("packet: report truncated (%d bytes)", len(b))

@@ -197,7 +197,7 @@ func (c *Collector) Run() error {
 // one reader — which is what spreads ingest across the pool. The loop is
 // allocation-free per datagram: buffers are pooled and the Report is reused.
 func (c *Collector) worker(s *shard) error {
-	r := new(packet.Report)
+	r := new(packet.Report) // one Report per worker, reused for every datagram
 	for {
 		bp := bufPool.Get().(*[2048]byte)
 		n, from, err := c.conn.ReadFromUDPAddrPort(bp[:])
@@ -209,19 +209,29 @@ func (c *Collector) worker(s *shard) error {
 			c.logf("report: read: %v", err)
 			continue
 		}
-		err = packet.UnmarshalReportInto(bp[:n], r)
-		bufPool.Put(bp)
-		if err != nil {
-			s.malformed.Add(1)
-			c.logf("report: malformed datagram from the wire: %v", err)
-			continue
-		}
-		s.received.Add(1)
-		s.mu.Lock()
-		s.bySource[from]++
-		s.mu.Unlock()
-		c.handler(r)
+		c.dispatch(s, bp, n, from, r)
 	}
+}
+
+// dispatch decodes one datagram into the worker's reused Report, counts
+// it, and hands it to the verifier callback. This is the per-datagram
+// tail of the hot loop; the malformed path (rate-limited logging) is the
+// cold branch the zero-alloc contract exempts.
+//
+//lint:allocfree
+func (c *Collector) dispatch(s *shard, bp *[2048]byte, n int, from netip.AddrPort, r *packet.Report) {
+	err := packet.UnmarshalReportInto(bp[:n], r)
+	bufPool.Put(bp)
+	if err != nil {
+		s.malformed.Add(1)
+		c.logf("report: malformed datagram from the wire: %v", err)
+		return
+	}
+	s.received.Add(1)
+	s.mu.Lock()
+	s.bySource[from]++
+	s.mu.Unlock()
+	c.handler(r)
 }
 
 // logf emits through the token bucket, reporting how many lines the
