@@ -272,6 +272,106 @@ func nothingHere() {}
 	}
 }
 
+// One relay type violating all three lifetime checkers at distinct
+// lines: an unstoppable spawned sleep-loop (ctxprop), an unbounded
+// redial loop (retrybound), and a write on a conn no caller arms
+// (deadline).
+const lifetimeViolations = `package scratch
+
+import (
+	"net"
+	"time"
+)
+
+type relay struct {
+	addr string
+	conn net.Conn
+}
+
+func (r *relay) start() {
+	go func() {
+		for {
+			time.Sleep(50 * time.Millisecond)
+			r.flush()
+		}
+	}()
+}
+
+func (r *relay) reconnect() {
+	for {
+		c, err := net.Dial("tcp", r.addr)
+		if err != nil {
+			continue
+		}
+		r.conn = c
+		return
+	}
+}
+
+func (r *relay) flush() {
+	if r.conn == nil {
+		return
+	}
+	r.conn.Write([]byte("x"))
+}
+`
+
+func TestCtxFlowGolden(t *testing.T) {
+	scratch(t, map[string]string{"main.go": lifetimeViolations})
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"-checkers", "ctxprop,deadline,retrybound", "./..."}); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	wantOut := "main.go:15:3: goroutine (spawned at main.go:14) loops forever into time.Sleep with no exit and no cancellation signal — accept and thread a context.Context or stop channel [ctxprop]\n" +
+		"main.go:23:2: loop retries net.Dial without a bound: add an attempt counter, a deadline/context check, or a capped backoff [retrybound]\n" +
+		"main.go:37:2: net.Conn.Write on r.conn reaches a caller (func@main.go:14 at main.go:17) that has not armed a write deadline; call SetWriteDeadline on every path or annotate `// lint:deadline conn=r.conn <reason>` [deadline]\n"
+	if stdout.String() != wantOut {
+		t.Errorf("stdout = %q, want %q", stdout.String(), wantOut)
+	}
+	wantSummary := "veridp-lint: 3 finding(s), 0 suppressed, 0 baselined\n"
+	if stderr.String() != wantSummary {
+		t.Errorf("stderr = %q, want %q", stderr.String(), wantSummary)
+	}
+
+	// The annotation routes govern: binding the conn's lifetime to a
+	// documented owner silences deadline, and a `//lint:ignore` line
+	// silences a finding while keeping it counted.
+	annotated := strings.Replace(lifetimeViolations,
+		"func (r *relay) flush() {",
+		"// lint:deadline conn=r.conn the relay's watchdog closes conn on cancel\nfunc (r *relay) flush() {", 1)
+	scratch(t, map[string]string{"main.go": annotated})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(&stdout, &stderr, []string{"-checkers", "deadline", "./..."}); code != 0 {
+		t.Fatalf("annotated exit = %d, want 0\nstdout: %s", code, stdout.String())
+	}
+}
+
+func TestCtxFlowJSON(t *testing.T) {
+	scratch(t, map[string]string{"main.go": lifetimeViolations})
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"-json", "-checkers", "ctxprop,deadline,retrybound", "./..."}); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	var out jsonOutput
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(out.Diagnostics) != 3 || out.Summary.Findings != 3 {
+		t.Fatalf("diagnostics = %+v, want exactly three", out)
+	}
+	byChecker := map[string]int{}
+	for _, d := range out.Diagnostics {
+		byChecker[d.Checker] = d.Line
+	}
+	want := map[string]int{"ctxprop": 15, "retrybound": 23, "deadline": 37}
+	for checker, line := range want {
+		if byChecker[checker] != line {
+			t.Errorf("%s fired at line %d, want %d (all: %+v)", checker, byChecker[checker], line, out.Diagnostics)
+		}
+	}
+}
+
 func TestListCheckers(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run(&stdout, &stderr, []string{"-list"}); code != 0 {

@@ -6,18 +6,26 @@
 //	veridp-server -topo figure5 -listen :6653 -controller 127.0.0.1:6654 -reports :48879
 //
 // Switches dial -listen instead of the controller; the server forwards
-// everything upstream unchanged. See examples/liveproxy for a complete
-// in-process deployment wired over real sockets.
+// everything upstream unchanged. SIGINT/SIGTERM trigger a graceful
+// shutdown: the proxy stops accepting, spliced sessions and in-flight
+// report datagrams drain, and the process exits within -shutdown-timeout.
+// See examples/liveproxy for a complete in-process deployment wired over
+// real sockets.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"veridp"
 	"veridp/internal/bloom"
@@ -36,6 +44,7 @@ var (
 	metricsAddr = flag.String("metrics", "", "HTTP address for Prometheus metrics (empty disables)")
 	mbits       = flag.Int("mbits", 16, "Bloom tag size in bits")
 	workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "report collector worker goroutines")
+	shutdownTO  = flag.Duration("shutdown-timeout", 5*time.Second, "grace period for draining on SIGINT/SIGTERM")
 )
 
 func buildTopo(name string) (*topo.Network, error) {
@@ -60,12 +69,14 @@ func buildTopo(name string) (*topo.Network, error) {
 func main() {
 	flag.Parse()
 	logger := log.New(os.Stderr, "veridp-server: ", log.LstdFlags)
-	if err := run(logger); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, logger); err != nil && !errors.Is(err, context.Canceled) {
 		logger.Fatal(err)
 	}
 }
 
-func run(logger *log.Logger) error {
+func run(ctx context.Context, logger *log.Logger) error {
 	params := bloom.Params{MBits: *mbits}
 	if err := params.Validate(); err != nil {
 		return err
@@ -101,10 +112,11 @@ func run(logger *log.Logger) error {
 		return err
 	}
 	defer collector.Close()
+	collectorDone := make(chan error, 1)
 	go func() {
-		if err := collector.Run(); err != nil {
-			logger.Printf("collector stopped: %v", err)
-		}
+		// Run drains its workers before returning, so a receive from
+		// collectorDone is the "in-flight datagrams finished" signal.
+		collectorDone <- collector.Run(ctx)
 	}()
 	logger.Printf("collecting tag reports on %v (%d workers)", collector.Addr(), collector.Workers())
 
@@ -112,11 +124,17 @@ func run(logger *log.Logger) error {
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", mon)
+		msrv := &http.Server{Addr: *metricsAddr, Handler: mux}
 		go func() {
 			logger.Printf("serving metrics on %s/metrics", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+			if err := msrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Printf("metrics server stopped: %v", err)
 			}
+		}()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
+			defer cancel()
+			msrv.Shutdown(sctx)
 		}()
 	}
 
@@ -127,5 +145,20 @@ func run(logger *log.Logger) error {
 		return err
 	}
 	logger.Printf("proxying OpenFlow on %v → controller %s", l.Addr(), *ctrlAddr)
-	return proxy.Serve(l)
+	err = proxy.Serve(ctx, l)
+
+	// Serve has drained its spliced sessions; give the collector the
+	// remaining grace period to drain in-flight datagrams.
+	if ctx.Err() != nil {
+		logger.Printf("shutting down (grace %v)", *shutdownTO)
+	}
+	select {
+	case cerr := <-collectorDone:
+		if ctx.Err() == nil && cerr != nil {
+			logger.Printf("collector stopped: %v", cerr)
+		}
+	case <-time.After(*shutdownTO):
+		logger.Printf("collector did not drain within %v", *shutdownTO)
+	}
+	return err
 }

@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"veridp/internal/bloom"
@@ -36,13 +39,15 @@ var (
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "veridp-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	params := bloom.Params{MBits: *mbits}
 	if err := params.Validate(); err != nil {
 		return err
@@ -137,6 +142,13 @@ func run() error {
 	var delivered, dropped, looped, verified, violated, localized, correct int
 	blamed := map[string]int{}
 	for _, ping := range mesh {
+		// An interrupt mid-mesh stops cleanly between pings; each inject
+		// is synchronous, so nothing is left in flight.
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "veridp-sim: interrupted, stopping after",
+				delivered+dropped+looped, "of", len(mesh), "pings")
+			return err
+		}
 		res, err := e.Fabric.InjectFromHost(ping.SrcHost, ping.Header)
 		if err != nil {
 			return err

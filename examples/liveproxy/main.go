@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"veridp"
@@ -31,12 +34,14 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	logger := log.New(os.Stderr, "", 0)
 	net_ := veridp.Figure5()
 
@@ -46,7 +51,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	go ctrlSrv.Serve(ctrlL)
+	go ctrlSrv.Serve(ctx, ctrlL)
 	defer ctrlSrv.Close()
 
 	// ---- VeriDP server: monitor + proxy + UDP collector ---------------
@@ -73,14 +78,14 @@ func run() error {
 		return err
 	}
 	defer collector.Close()
-	go collector.Run()
+	go collector.Run(ctx)
 
 	proxy := openflow.NewProxy(ctrlL.Addr().String(), mon.ProxyHooks(logical), nil)
 	proxyL, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	go proxy.Serve(proxyL)
+	go proxy.Serve(ctx, proxyL)
 	defer proxy.Close()
 
 	// ---- data plane: fabric + one agent per switch, reports over UDP --
@@ -98,7 +103,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		go agent.Run(conn)
+		go agent.Run(ctx, conn)
 	}
 
 	// ---- control plane work over the live channel ---------------------

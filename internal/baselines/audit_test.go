@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"sync"
@@ -107,7 +108,7 @@ func TestDumpOverLiveChannel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go srv.Serve(l)
+	go srv.Serve(context.Background(), l)
 	defer srv.Close()
 
 	sw := n.SwitchByName("s1").ID
@@ -118,7 +119,7 @@ func TestDumpOverLiveChannel(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	go agent.Run(conn)
+	go agent.Run(context.Background(), conn)
 	if err := srv.WaitForSwitches([]topo.SwitchID{sw}); err != nil {
 		t.Fatal(err)
 	}

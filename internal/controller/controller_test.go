@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -199,7 +200,7 @@ func TestServerEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go srv.Serve(l)
+	go srv.Serve(context.Background(), l)
 	defer srv.Close()
 
 	// Fake switch.
@@ -265,7 +266,7 @@ func TestServerWaitTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go srv.Serve(l)
+	go srv.Serve(context.Background(), l)
 	defer srv.Close()
 	start := time.Now()
 	if err := srv.WaitForSwitches([]topo.SwitchID{1}); err == nil {
@@ -287,7 +288,7 @@ func TestServerConcurrentBarrierAndDump(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go srv.Serve(l)
+	go srv.Serve(context.Background(), l)
 	defer srv.Close()
 
 	raw, err := net.Dial("tcp", l.Addr().String())

@@ -7,12 +7,15 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"veridp/internal/flowtable"
+	"veridp/internal/netutil"
 	"veridp/internal/openflow"
 	"veridp/internal/topo"
 )
@@ -23,13 +26,17 @@ type Server struct {
 	// barrier replies (default 10s).
 	Timeout time.Duration
 
+	acceptRetries atomic.Uint64 // temporary Accept errors retried with backoff
+
 	mu       sync.Mutex
 	conns    map[topo.SwitchID]*openflow.Conn      // guarded by mu
+	raws     map[net.Conn]struct{}                 // guarded by mu; accepted conns incl. pre-Hello
 	barriers map[barrierKey]chan struct{}          // guarded by mu
 	dumps    map[barrierKey]chan []*flowtable.Rule // guarded by mu
 	arrived  *sync.Cond
-	closed   bool         // guarded by mu
-	listener net.Listener // guarded by mu
+	closed   bool           // guarded by mu
+	listener net.Listener   // guarded by mu
+	draining sync.WaitGroup // one unit per serveConn goroutine
 }
 
 type barrierKey struct {
@@ -42,6 +49,7 @@ func NewServer() *Server {
 	s := &Server{
 		Timeout:  10 * time.Second,
 		conns:    make(map[topo.SwitchID]*openflow.Conn),
+		raws:     make(map[net.Conn]struct{}),
 		barriers: make(map[barrierKey]chan struct{}),
 		dumps:    make(map[barrierKey]chan []*flowtable.Rule),
 	}
@@ -49,22 +57,50 @@ func NewServer() *Server {
 	return s
 }
 
-// Serve accepts switch connections until Close. Always returns a non-nil
-// error.
-func (s *Server) Serve(l net.Listener) error {
+// AcceptRetries returns how many temporary Accept errors the server has
+// ridden out with backoff since it started.
+func (s *Server) AcceptRetries() uint64 { return s.acceptRetries.Load() }
+
+// Serve accepts switch connections until ctx is cancelled or Close is
+// called, then drains every per-switch goroutine before returning. It
+// always returns a non-nil error: ctx.Err() after cancellation,
+// net.ErrClosed after Close. Temporary Accept errors are retried with
+// capped exponential backoff rather than killing the listener.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	s.mu.Lock()
 	s.listener = l
 	s.mu.Unlock()
+
+	// Cancellation is delivered by closing the listener and every switch
+	// conn, which fails the parked Accept/Recv calls below.
+	stop := context.AfterFunc(ctx, s.Close)
+	defer stop()
+
+	var bo netutil.Backoff
 	for {
 		c, err := l.Accept()
 		if err != nil {
+			if netutil.IsTemporary(err) && bo.Sleep(ctx) {
+				s.acceptRetries.Add(1)
+				continue
+			}
+			s.draining.Wait()
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			return err
 		}
-		go s.serveConn(c)
+		bo.Reset()
+		s.draining.Add(1)
+		go func() {
+			defer s.draining.Done()
+			s.serveConn(c)
+		}()
 	}
 }
 
-// Close shuts the listener and every switch connection.
+// Close shuts the listener and every switch connection (including
+// accepted conns still mid-handshake), unblocking Serve's drain.
 func (s *Server) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -72,14 +108,28 @@ func (s *Server) Close() {
 	if s.listener != nil {
 		s.listener.Close()
 	}
-	for _, c := range s.conns {
+	for c := range s.raws {
 		c.Close()
 	}
 	s.arrived.Broadcast()
 }
 
 func (s *Server) serveConn(raw net.Conn) {
-	defer raw.Close()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		raw.Close()
+		return
+	}
+	s.raws[raw] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.raws, raw)
+		s.mu.Unlock()
+		raw.Close()
+	}()
+
 	c := openflow.NewConn(raw)
 	sw, err := c.RecvHello()
 	if err != nil {

@@ -8,6 +8,7 @@
 package dataplane
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -41,18 +42,25 @@ func (a *Agent) logf(format string, args ...interface{}) {
 }
 
 // Run performs the Hello handshake on nc and serves messages until the
-// connection closes. It always returns a non-nil error.
-func (a *Agent) Run(nc net.Conn) error {
+// connection closes or ctx is cancelled (which closes the connection,
+// failing the parked read). It always returns a non-nil error: ctx.Err()
+// after cancellation, the transport error otherwise.
+func (a *Agent) Run(ctx context.Context, nc net.Conn) error {
 	if a.Fabric.Switch(a.ID) == nil {
 		return fmt.Errorf("dataplane: agent for unknown switch %d", a.ID)
 	}
 	c := openflow.NewConn(nc)
+	stop := context.AfterFunc(ctx, func() { c.Close() })
+	defer stop()
 	if err := c.SendHello(a.ID); err != nil {
 		return err
 	}
 	for {
 		m, err := c.Recv()
 		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			return err
 		}
 		if err := a.handle(c, m); err != nil {

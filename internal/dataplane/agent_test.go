@@ -1,6 +1,7 @@
 package dataplane
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -19,7 +20,7 @@ func startAgent(t *testing.T, f *Fabric, id topo.SwitchID, sink ReportSink) *ope
 	t.Helper()
 	a, b := net.Pipe()
 	agent := &Agent{Fabric: f, ID: id, Mu: &sync.Mutex{}, Sink: sink}
-	go agent.Run(a)
+	go agent.Run(context.Background(), a)
 	c := openflow.NewConn(b)
 	sw, err := c.RecvHello()
 	if err != nil || sw != id {
@@ -169,7 +170,7 @@ func TestAgentUnknownSwitch(t *testing.T) {
 	a, b := net.Pipe()
 	defer a.Close()
 	defer b.Close()
-	if err := agent.Run(a); err == nil {
+	if err := agent.Run(context.Background(), a); err == nil {
 		t.Fatal("agent for unknown switch ran")
 	}
 }

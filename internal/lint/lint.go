@@ -82,6 +82,9 @@ var Analyzers = []*Analyzer{
 	SnapFreeze,
 	AtomicField,
 	AllocFree,
+	CtxProp,
+	Deadline,
+	RetryBound,
 }
 
 // ByName returns the analyzer registered under name, or nil.

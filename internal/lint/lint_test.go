@@ -189,6 +189,59 @@ func TestCheckerInteraction(t *testing.T) {
 	}
 }
 
+// TestCtxFlowInteraction pins the composition contract for the three
+// lifetime checkers: one relay type seeds a ctxprop violation (spawned
+// sleep-loop with no cancellation), a retrybound violation (unbounded
+// redial), and a deadline violation (write on a never-armed conn), and
+// each checker reports exactly its own finding at a distinct position.
+func TestCtxFlowInteraction(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "ctxinteraction", "*.go"))
+	if err != nil || len(files) < 2 {
+		t.Fatalf("ctxinteraction corpus: files=%v err=%v (want good.go and bad.go)", files, err)
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, corpusExports(t))
+	pkg, err := CheckFiles(fset, imp, "veridp/lint/corpus/ctxinteraction", files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{CtxProp, Deadline, RetryBound}).Diags
+
+	lines := make(map[string][]int) // checker -> bad.go lines it fired on
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) == "good.go" {
+			t.Errorf("checker fired on the known-good file: %s", d)
+			continue
+		}
+		lines[d.Checker] = append(lines[d.Checker], d.Pos.Line)
+	}
+	cp, dl, rb := lines["ctxprop"], lines["deadline"], lines["retrybound"]
+	if len(cp) != 1 || len(dl) != 1 || len(rb) != 1 {
+		t.Fatalf("want exactly one finding per checker, got ctxprop=%v deadline=%v retrybound=%v (all: %v)",
+			cp, dl, rb, diags)
+	}
+	if cp[0] == dl[0] || cp[0] == rb[0] || dl[0] == rb[0] {
+		t.Errorf("findings share a line (ctxprop=%d deadline=%d retrybound=%d); the corpus seeds them at distinct positions",
+			cp[0], dl[0], rb[0])
+	}
+	for _, d := range diags {
+		switch d.Checker {
+		case "ctxprop":
+			if !strings.Contains(d.Message, "no exit and no cancellation signal") {
+				t.Errorf("ctxprop diagnostic %q is not about the unstoppable loop", d.Message)
+			}
+		case "deadline":
+			if !strings.Contains(d.Message, "has not armed") {
+				t.Errorf("deadline diagnostic %q is not about the unarmed caller", d.Message)
+			}
+		case "retrybound":
+			if !strings.Contains(d.Message, "without a bound") {
+				t.Errorf("retrybound diagnostic %q is not about the unbounded retry", d.Message)
+			}
+		}
+	}
+}
+
 // TestLoadSelf exercises the production loader end-to-end on this very
 // package: list, build export data, parse, type-check.
 func TestLoadSelf(t *testing.T) {

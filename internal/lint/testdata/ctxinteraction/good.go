@@ -1,0 +1,55 @@
+// Known-good corpus for the ctxflow interaction test: the same relay
+// shape with its lifetimes wired — the heartbeat watches ctx.Done(),
+// the reconnect loop checks the context between attempts, and the
+// flush arms a write deadline before touching the conn.
+
+package ctxinteraction
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+type pump struct {
+	addr string
+	conn net.Conn
+}
+
+func (p *pump) start(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+			p.send()
+		}
+	}()
+}
+
+func (p *pump) redial(ctx context.Context) error {
+	d := 5 * time.Millisecond
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c, err := net.Dial("tcp", p.addr)
+		if err != nil {
+			time.Sleep(d)
+			d = min(2*d, time.Second)
+			continue
+		}
+		p.conn = c
+		return nil
+	}
+}
+
+func (p *pump) send() {
+	if p.conn == nil {
+		return
+	}
+	p.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	p.conn.Write([]byte("beat"))
+}

@@ -1,0 +1,63 @@
+// Known-bad corpus for the retrybound checker: a dial loop that retries
+// forever, an accept loop that hot-spins on a dead listener, a
+// constant-sleep retry (paced but still unbounded), and a backoff that
+// grows without a cap.
+
+package retrybound
+
+import (
+	"net"
+	"time"
+)
+
+// A dead controller makes this spin at full speed forever.
+func dialForever(addr string) net.Conn {
+	for { // want "retries net.Dial without a bound"
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			continue
+		}
+		return c
+	}
+}
+
+// The error is dropped on the floor: a closed listener returns
+// instantly and the loop melts a core.
+func acceptSpin(l net.Listener, sink chan net.Conn) {
+	for { // want "retries Accept without a bound"
+		c, err := l.Accept()
+		if err != nil {
+			continue
+		}
+		sink <- c
+	}
+}
+
+// Sleeping a constant between attempts paces the loop but never ends
+// it: no counter, no deadline, no context.
+func redialPaced(addr string, sink chan net.Conn) {
+	for { // want "retries net.Dial without a bound"
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		sink <- c
+		return
+	}
+}
+
+// The backoff doubles but nothing caps it and nothing cancels it: after
+// an outage the next retry can be hours away, which is its own hang.
+func redialGrowing(addr string) net.Conn {
+	d := time.Millisecond
+	for { // want "retries net.Dial without a bound"
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			time.Sleep(d)
+			d *= 2
+			continue
+		}
+		return c
+	}
+}

@@ -1,0 +1,98 @@
+// Known-good corpus for the retrybound checker: every retry loop here
+// is bounded — by an attempt counter, a context check, a capped
+// backoff, a cancellation-shaped select, or a helper that observes the
+// context for the loop.
+
+package retrybound
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// A counter in the loop condition: classic bounded retry.
+func dialAttempts(addr string) net.Conn {
+	for i := 0; i < 5; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			continue
+		}
+		return c
+	}
+	return nil
+}
+
+// The context check bounds the loop: cancellation ends the retrying.
+func dialUntilCancelled(ctx context.Context, addr string) (net.Conn, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			continue
+		}
+		return c, nil
+	}
+}
+
+// An inline capped backoff: the sleep grows and a cap holds it at a
+// ceiling, the accepted shape for accept loops without a context.
+func acceptPatient(l net.Listener, sink chan net.Conn) {
+	d := 5 * time.Millisecond
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			time.Sleep(d)
+			d *= 2
+			if d > time.Second {
+				d = time.Second
+			}
+			continue
+		}
+		d = 5 * time.Millisecond
+		sink <- c
+	}
+}
+
+// A cancellation-shaped select paces the retry and gives shutdown a way
+// to end it.
+func redialSelect(stop chan struct{}, addr string, sink chan net.Conn) {
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			select {
+			case <-stop:
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+			continue
+		}
+		sink <- c
+		return
+	}
+}
+
+// pause observes the context on the loop's behalf: retrying through it
+// is conditioned on a live ctx, the netutil.Backoff.Sleep shape.
+func pause(ctx context.Context, d time.Duration) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	time.Sleep(d)
+	return ctx.Err() == nil
+}
+
+func dialThroughHelper(ctx context.Context, addr string) net.Conn {
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			if !pause(ctx, 50*time.Millisecond) {
+				return nil
+			}
+			continue
+		}
+		return c
+	}
+}

@@ -1,0 +1,93 @@
+// Package netutil holds the shared lifetime-and-retry vocabulary for the
+// monitor's long-lived network loops: a capped exponential backoff that
+// waits under a context, and the temporary-error test that decides
+// whether an Accept/Dial failure is worth retrying at all. Every accept
+// and reconnect loop in the repo goes through Backoff.Sleep, which is the
+// shape the retrybound checker certifies as a bound (context check plus
+// capped growth) — a loop that retries I/O without one of these is a
+// hot-spin or a retry-forever hazard and lints dirty.
+package netutil
+
+import (
+	"context"
+	"errors"
+	"net"
+	"time"
+)
+
+// Backoff defaults: the first retry waits DefaultMin, each subsequent
+// failure doubles the wait, and DefaultMax caps it — the same 5ms→1s
+// ramp net/http uses for temporary Accept errors.
+const (
+	DefaultMin = 5 * time.Millisecond
+	DefaultMax = 1 * time.Second
+)
+
+// Backoff is a capped exponential delay for retry loops. The zero value
+// is ready to use with the default ramp. It is not safe for concurrent
+// use; each retry loop owns its own Backoff.
+type Backoff struct {
+	// Min is the first delay (DefaultMin when zero).
+	Min time.Duration
+	// Max caps the doubling (DefaultMax when zero).
+	Max time.Duration
+
+	cur time.Duration
+}
+
+// Sleep waits the current delay (doubling it, capped at Max, for the
+// next call) and reports whether the wait completed. It returns false
+// immediately when ctx is cancelled — the loop must exit, not retry.
+func (b *Backoff) Sleep(ctx context.Context) bool {
+	d := b.cur
+	if d <= 0 {
+		d = b.Min
+		if d <= 0 {
+			d = DefaultMin
+		}
+	}
+	max := b.Max
+	if max <= 0 {
+		max = DefaultMax
+	}
+	next := d * 2
+	if next > max {
+		next = max
+	}
+	b.cur = next
+	if ctx.Err() != nil {
+		return false
+	}
+	// A stopped Timer is reclaimed immediately; time.After would pin its
+	// channel for the full delay even when ctx fires first.
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Reset returns the delay to Min; call it after a successful attempt so
+// the next failure starts the ramp over.
+func (b *Backoff) Reset() { b.cur = 0 }
+
+// IsTemporary reports whether a network error is worth retrying:
+// timeouts and errors that self-describe as temporary. A closed listener
+// or socket (net.ErrClosed) is always permanent — it is how cancellation
+// is delivered to a parked Accept or Read.
+func IsTemporary(err error) bool {
+	if err == nil || errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		// Temporary is deprecated in general but remains the accept-loop
+		// retry contract net/http relies on; Timeout alone misses
+		// ECONNABORTED-style transient accept failures.
+		return ne.Timeout() || ne.Temporary()
+	}
+	return false
+}

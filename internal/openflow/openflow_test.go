@@ -1,6 +1,7 @@
 package openflow
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -239,7 +240,7 @@ func TestProxySplice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go proxy.Serve(proxyL)
+	go proxy.Serve(context.Background(), proxyL)
 	defer proxy.Close()
 
 	// Switch: dials the proxy, installs the rule, answers the barrier.

@@ -6,14 +6,21 @@
 package openflow
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"veridp/internal/netutil"
 	"veridp/internal/topo"
 )
+
+// dialTimeout bounds the upstream controller dial for one spliced session.
+const dialTimeout = 10 * time.Second
 
 // ProxyHooks receives intercepted control traffic. Callbacks run on the
 // proxy's per-connection goroutines; implementations must be safe for
@@ -37,10 +44,13 @@ type Proxy struct {
 	hooks          ProxyHooks
 	logger         *log.Logger
 
+	acceptRetries atomic.Uint64 // temporary Accept errors retried with backoff
+
 	mu       sync.Mutex
 	listener net.Listener          // guarded by mu
 	sessions map[net.Conn]struct{} // guarded by mu
 	closed   bool                  // guarded by mu
+	draining sync.WaitGroup        // one unit per serveSwitch goroutine
 }
 
 // NewProxy returns a proxy that splices to the controller at addr. logger
@@ -60,9 +70,16 @@ func (p *Proxy) logf(format string, args ...interface{}) {
 	}
 }
 
-// Serve accepts switch connections on l until Close. It always returns a
-// non-nil error (net.ErrClosed after Close).
-func (p *Proxy) Serve(l net.Listener) error {
+// AcceptRetries returns how many temporary Accept errors the proxy has
+// ridden out with backoff since it started.
+func (p *Proxy) AcceptRetries() uint64 { return p.acceptRetries.Load() }
+
+// Serve accepts switch connections on l until ctx is cancelled or Close
+// is called, then drains every spliced session before returning. It
+// always returns a non-nil error: ctx.Err() after cancellation,
+// net.ErrClosed after Close. Temporary Accept errors are retried with
+// capped exponential backoff rather than killing the listener.
+func (p *Proxy) Serve(ctx context.Context, l net.Listener) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -71,16 +88,37 @@ func (p *Proxy) Serve(l net.Listener) error {
 	p.listener = l
 	p.mu.Unlock()
 
+	// Cancellation is delivered by closing the listener and sessions,
+	// which fails the parked Accept/Recv calls below.
+	stop := context.AfterFunc(ctx, p.Close)
+	defer stop()
+
+	var bo netutil.Backoff
 	for {
 		c, err := l.Accept()
 		if err != nil {
+			if netutil.IsTemporary(err) && bo.Sleep(ctx) {
+				p.acceptRetries.Add(1)
+				p.logf("temporary accept error, retrying: %v", err)
+				continue
+			}
+			p.draining.Wait()
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			return err
 		}
-		go p.serveSwitch(c)
+		bo.Reset()
+		p.draining.Add(1)
+		go func() {
+			defer p.draining.Done()
+			p.serveSwitch(ctx, c)
+		}()
 	}
 }
 
-// Close stops the accept loop and tears down every spliced session.
+// Close stops the accept loop and tears down every spliced session. The
+// session goroutines are drained by Serve before it returns.
 func (p *Proxy) Close() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -111,7 +149,9 @@ func (p *Proxy) untrack(c net.Conn) {
 }
 
 // serveSwitch handles one switch: handshake, upstream dial, then splice.
-func (p *Proxy) serveSwitch(raw net.Conn) {
+// ctx cancellation closes both legs via Proxy.Close, which ends the
+// splice goroutines through their failed reads.
+func (p *Proxy) serveSwitch(ctx context.Context, raw net.Conn) {
 	if !p.track(raw) {
 		raw.Close()
 		return
@@ -126,7 +166,8 @@ func (p *Proxy) serveSwitch(raw net.Conn) {
 		return
 	}
 
-	upRaw, err := net.Dial("tcp", p.controllerAddr)
+	d := net.Dialer{Timeout: dialTimeout}
+	upRaw, err := d.DialContext(ctx, "tcp", p.controllerAddr)
 	if err != nil {
 		p.logf("switch %d: controller dial failed: %v", sw, err)
 		return

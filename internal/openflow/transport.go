@@ -11,22 +11,77 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"veridp/internal/topo"
 )
 
+// DefaultIOTimeout bounds each in-flight frame transfer: once the peer
+// starts a frame (or we start writing one), the bytes must keep arriving
+// within this window or the read/write fails with a timeout. It bounds
+// stalled peers, not idle ones — idleness is governed separately.
+const DefaultIOTimeout = 10 * time.Second
+
 // Conn is a message-oriented southbound connection. Reads and writes are
 // each internally serialized, so one reader goroutine and any number of
 // writer goroutines may share a Conn.
+//
+// Every read and write on the underlying socket is armed with a deadline
+// first (the deadline checker enforces this): writes and frame-body reads
+// use the I/O timeout; the frame-header read uses the idle timeout, which
+// defaults to zero (wait forever) because a healthy OpenFlow session is
+// silent between messages — cancelling an idle session is the owner's job,
+// via the context that Close()s the Conn and fails the parked read.
 type Conn struct {
-	c       net.Conn
-	readMu  sync.Mutex
-	writeMu sync.Mutex
-	nextXid atomic.Uint32
+	c           net.Conn
+	readMu      sync.Mutex
+	writeMu     sync.Mutex
+	nextXid     atomic.Uint32
+	ioTimeout   atomic.Int64 // ns; bounds writes and frame-body reads
+	idleTimeout atomic.Int64 // ns; bounds the wait for the next frame (0 = forever)
 }
 
-// NewConn wraps a net.Conn.
-func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+// NewConn wraps a net.Conn with the default I/O timeout and no idle
+// timeout.
+func NewConn(c net.Conn) *Conn {
+	cc := &Conn{c: c}
+	cc.ioTimeout.Store(int64(DefaultIOTimeout))
+	return cc
+}
+
+// SetIOTimeout bounds each frame transfer (write, or body read after a
+// header). Zero or negative disables the bound.
+func (c *Conn) SetIOTimeout(d time.Duration) { c.ioTimeout.Store(int64(d)) }
+
+// SetIdleTimeout bounds the wait for the next inbound frame header. Zero
+// (the default) waits forever; the connection's lifetime is then governed
+// by its owner cancelling/Closing it.
+func (c *Conn) SetIdleTimeout(d time.Duration) { c.idleTimeout.Store(int64(d)) }
+
+// deadlineFor converts a stored timeout into an absolute deadline; the
+// zero time clears the deadline, which is how "wait forever" is armed.
+func deadlineFor(ns int64) time.Time {
+	if ns <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(time.Duration(ns))
+}
+
+// armWrite sets the write deadline for one frame write.
+func (c *Conn) armWrite() error {
+	return c.c.SetWriteDeadline(deadlineFor(c.ioTimeout.Load()))
+}
+
+// armRead sets the read deadline for a frame-body read (the frame has
+// started; the rest must arrive within the I/O timeout).
+func (c *Conn) armRead() error {
+	return c.c.SetReadDeadline(deadlineFor(c.ioTimeout.Load()))
+}
+
+// armIdle sets the read deadline for the between-frames wait.
+func (c *Conn) armIdle() error {
+	return c.c.SetReadDeadline(deadlineFor(c.idleTimeout.Load()))
+}
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.c.Close() }
@@ -49,6 +104,9 @@ func (c *Conn) Send(m *Message) error {
 	binary.BigEndian.PutUint32(hdr[4:8], m.Xid)
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	if err := c.armWrite(); err != nil {
+		return err
+	}
 	//lint:ignore lockedblock writeMu exists to serialize frame writes on the shared conn; blocking under it is its contract
 	if _, err := c.c.Write(hdr[:]); err != nil {
 		return err
@@ -67,6 +125,9 @@ func (c *Conn) Recv() (*Message, error) {
 	c.readMu.Lock()
 	defer c.readMu.Unlock()
 	var hdr [headerLen]byte
+	if err := c.armIdle(); err != nil {
+		return nil, err
+	}
 	//lint:ignore lockedblock readMu exists to serialize frame reads on the shared conn; blocking under it is its contract
 	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
 		return nil, err
@@ -84,6 +145,9 @@ func (c *Conn) Recv() (*Message, error) {
 	}
 	if length > headerLen {
 		m.Body = make([]byte, length-headerLen)
+		if err := c.armRead(); err != nil {
+			return nil, err
+		}
 		//lint:ignore lockedblock the body belongs to the frame whose header this goroutine just consumed; no other reader may run first
 		if _, err := io.ReadFull(c.c, m.Body); err != nil {
 			return nil, err

@@ -7,6 +7,7 @@
 package report
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -23,7 +24,7 @@ func BenchmarkCollectorThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer c.Close()
-	go c.Run()
+	go c.Run(context.Background())
 
 	s, err := NewSender(c.Addr().String())
 	if err != nil {

@@ -15,6 +15,7 @@
 package report
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"veridp/internal/netutil"
 	"veridp/internal/packet"
 )
 
@@ -50,6 +52,10 @@ func NewSender(addr string) (*Sender, error) {
 // HandleReport implements dataplane.ReportSink by marshalling onto the
 // wire. Send errors are dropped: reports are best-effort telemetry, exactly
 // as UDP encapsulation implies.
+//
+// lint:deadline conn=s.conn a UDP datagram write to a dialed socket never
+// blocks on the peer; arming a deadline per report would put a syscall on
+// the hot path for a send that completes or drops immediately.
 func (s *Sender) HandleReport(r *packet.Report) {
 	s.conn.Write(r.Marshal())
 }
@@ -171,19 +177,28 @@ func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
 // Workers returns the size of the worker pool.
 func (c *Collector) Workers() int { return len(c.shards) }
 
-// Run starts the worker pool and blocks until Close; it always returns a
-// non-nil error (net.ErrClosed after Close).
-func (c *Collector) Run() error {
+// Run starts the worker pool and blocks until ctx is cancelled or Close
+// is called, draining every worker before returning; it always returns a
+// non-nil error: ctx.Err() after cancellation, net.ErrClosed after Close.
+func (c *Collector) Run(ctx context.Context) error {
+	// Cancellation is delivered by closing the shared socket, which fails
+	// every worker's parked read.
+	stop := context.AfterFunc(ctx, c.Close)
+	defer stop()
+
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
 	for i := range c.shards {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[i] = c.worker(&c.shards[i])
+			errs[i] = c.worker(ctx, &c.shards[i])
 		}()
 	}
 	wg.Wait()
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -196,10 +211,18 @@ func (c *Collector) Run() error {
 // the shared socket are safe — the kernel delivers each datagram to exactly
 // one reader — which is what spreads ingest across the pool. The loop is
 // allocation-free per datagram: buffers are pooled and the Report is reused.
-func (c *Collector) worker(s *shard) error {
+// Transient read errors back off with a cap (reset on the next datagram) so
+// a wedged socket cannot hot-spin a worker.
+func (c *Collector) worker(ctx context.Context, s *shard) error {
 	r := new(packet.Report) // one Report per worker, reused for every datagram
+	var bo netutil.Backoff
 	for {
 		bp := bufPool.Get().(*[2048]byte)
+		// The shared socket is the fan-in point for every switch in the
+		// deployment: a read deadline here would tear down ingest for all
+		// of them during any quiet interval, and cancellation already
+		// reaches the parked read through ctx closing the socket.
+		//lint:ignore deadline the shared UDP socket is governed by ctx→Close; a per-read deadline would expire healthy idle ingest
 		n, from, err := c.conn.ReadFromUDPAddrPort(bp[:])
 		if err != nil {
 			bufPool.Put(bp)
@@ -207,8 +230,12 @@ func (c *Collector) worker(s *shard) error {
 				return err
 			}
 			c.logf("report: read: %v", err)
+			if !bo.Sleep(ctx) {
+				return ctx.Err()
+			}
 			continue
 		}
+		bo.Reset()
 		c.dispatch(s, bp, n, from, r)
 	}
 }

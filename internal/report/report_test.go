@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -31,7 +32,7 @@ func collectorPair(t *testing.T, handler func(*packet.Report)) (*Collector, *Sen
 	if err != nil {
 		t.Fatal(err)
 	}
-	go c.Run()
+	go c.Run(context.Background())
 	s, err := NewSender(c.Addr().String())
 	if err != nil {
 		c.Close()
@@ -112,7 +113,7 @@ func TestCollectorCloseStopsRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- c.Run() }()
+	go func() { errCh <- c.Run(context.Background()) }()
 	time.Sleep(20 * time.Millisecond)
 	c.Close()
 	select {

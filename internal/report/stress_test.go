@@ -8,6 +8,7 @@
 package report_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -74,7 +75,7 @@ func TestCollectorConcurrentStress(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer collector.Close()
-	go collector.Run()
+	go collector.Run(context.Background())
 
 	const (
 		senders = 8
