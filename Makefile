@@ -9,7 +9,13 @@ GO ?= go
 FUZZTIME ?= 10s
 
 # Packages with Fuzz* targets and committed seed corpora.
-FUZZ_PKGS = ./internal/openflow ./internal/packet ./internal/pcap
+FUZZ_PKGS = ./internal/openflow ./internal/packet ./internal/pcap ./internal/storm
+
+# `make storm` settings: one seeded fuzzing campaign against a live
+# deployment (see internal/storm). CI runs storm-smoke non-gating.
+STORM_TOPO ?= ft4
+STORM_STEPS ?= 500
+STORM_SEED ?= 1
 
 # `make bench` settings: packages with benchmarks, selection regex, and
 # repeat count (6 runs is what benchstat wants for a stable comparison).
@@ -18,7 +24,7 @@ BENCH ?= .
 BENCHTIME ?= 200ms
 BENCHCOUNT ?= 6
 
-.PHONY: build test vet fmt lint race fuzz check bench bench-smoke
+.PHONY: build test vet fmt lint race fuzz check bench bench-smoke storm storm-smoke
 
 build:
 	$(GO) build ./...
@@ -51,6 +57,19 @@ fuzz:
 			echo "fuzz $$pkg $$target ($(FUZZTIME))"; \
 			$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg; \
 		done; \
+	done
+
+# Network-state fuzzing: one seeded campaign with the invariant oracles
+# armed. A failure writes storm-failure.json for replay/minimization:
+#   go run ./cmd/veridp-storm -replay storm-failure.json -minimize
+storm:
+	$(GO) run ./cmd/veridp-storm -topo $(STORM_TOPO) -steps $(STORM_STEPS) -seed $(STORM_SEED)
+
+# CI smoke: a shorter campaign on each topology.
+storm-smoke:
+	@set -e; \
+	for topo in ft4 ft6 figure5; do \
+		$(GO) run ./cmd/veridp-storm -topo $$topo -steps 200 -seed $(STORM_SEED); \
 	done
 
 # Benchmark run: plain `go test -bench` text (feed BENCH.txt pairs to

@@ -11,7 +11,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"os/signal"
 	"syscall"
@@ -113,7 +112,7 @@ func run(ctx context.Context) error {
 	fmt.Printf("topology %s: %d switches, %d hosts; path table: %d pairs, %d paths (avg len %.2f)\n",
 		e.Name, e.Net.NumSwitches(), len(e.Net.Hosts()), st.Pairs, st.Paths, st.AvgPathLength)
 
-	rng := rand.New(rand.NewSource(*seed))
+	rng := sim.NewRNG(*seed)
 	var injected *faults.Injected
 	if *fault != "none" {
 		sw, ruleID, ok := faults.RandomRule(e.Fabric, rng)

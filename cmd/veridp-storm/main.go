@@ -1,0 +1,130 @@
+// Command veridp-storm runs seeded network-state fuzzing campaigns
+// against a live VeriDP deployment and checks the five invariant oracles
+// after every step (exactly-one-verdict, no false positives, localization
+// pinpoints the fault, counter folds, no goroutine leaks).
+//
+//	veridp-storm -topo ft4 -steps 500 -seed 1          # one campaign
+//	veridp-storm -topo ft6 -duration 30s               # seeds until the clock runs out
+//	veridp-storm -replay failing.json                  # replay a campaign file
+//	veridp-storm -replay failing.json -minimize        # shrink it with ddmin
+//
+// Exit status: 0 every campaign passed, 1 an oracle failed (the campaign
+// is written to -fail-out for replay), 2 harness error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"veridp/internal/storm"
+)
+
+var (
+	topoName  = flag.String("topo", "ft4", "topology: ft4|ft6|figure5")
+	seed      = flag.Int64("seed", 1, "campaign generator seed")
+	steps     = flag.Int("steps", 500, "steps per campaign")
+	probes    = flag.Int("probes", 4, "probe injections after every step")
+	mbits     = flag.Int("mbits", 64, "Bloom tag size in bits")
+	duration  = flag.Duration("duration", 0, "run consecutive seeds until this elapses (0: one campaign)")
+	replay    = flag.String("replay", "", "replay a campaign file instead of generating")
+	minimize  = flag.Bool("minimize", false, "with -replay or on failure: ddmin-shrink the failing campaign")
+	minBudget = flag.Int("minimize-budget", storm.MinimizeBudget, "max campaign re-runs during minimization")
+	failOut   = flag.String("fail-out", "storm-failure.json", "write the failing (and .min minimized) campaign here")
+	desyncW   = flag.Int("desync-weight", 0, "generator weight of the desync-params self-test op")
+	verbose   = flag.Bool("v", false, "log per-campaign progress")
+)
+
+func main() {
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	code, err := run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "veridp-storm:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(ctx context.Context) (int, error) {
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	if *replay != "" {
+		data, err := os.ReadFile(*replay)
+		if err != nil {
+			return 2, err
+		}
+		c, err := storm.Decode(data)
+		if err != nil {
+			return 2, err
+		}
+		return campaign(ctx, c, logf)
+	}
+
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	s := *seed
+	for {
+		c := storm.Generate(*topoName, s, *steps, *probes, storm.GenOptions{DesyncWeight: *desyncW})
+		c.MBits = *mbits
+		code, err := campaign(ctx, c, logf)
+		if code != 0 || err != nil {
+			return code, err
+		}
+		if deadline.IsZero() || !time.Now().Before(deadline) || ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		s++
+	}
+}
+
+// campaign runs one campaign, reporting and persisting any failure.
+func campaign(ctx context.Context, c *storm.Campaign, logf func(string, ...any)) (int, error) {
+	res, err := storm.Run(ctx, c, logf)
+	if err != nil {
+		return 2, err
+	}
+	fmt.Printf("storm: topo=%s seed=%d steps=%d/%d probes=%d reports=%d verified=%d violated=%d localized=%d\n",
+		c.Topo, c.Seed, res.Steps, len(c.Steps), res.Probes, res.Reports,
+		res.Verified, res.Violated, res.Localized)
+	if res.Failure == nil {
+		return 0, nil
+	}
+	fmt.Printf("storm: FAIL %s\n", res.Failure)
+	if err := writeCampaign(*failOut, c); err != nil {
+		return 2, err
+	}
+	fmt.Printf("storm: failing campaign written to %s\n", *failOut)
+	if *minimize {
+		min, err := storm.Minimize(ctx, c, *minBudget, logf)
+		if err != nil {
+			return 2, err
+		}
+		path := *failOut + ".min"
+		if err := writeCampaign(path, min); err != nil {
+			return 2, err
+		}
+		fmt.Printf("storm: minimized to %d steps, written to %s\n", len(min.Steps), path)
+	}
+	return 1, nil
+}
+
+func writeCampaign(path string, c *storm.Campaign) error {
+	data, err := storm.Encode(c)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -56,6 +56,12 @@ func (c *Controller) Logical() map[topo.SwitchID]*flowtable.SwitchConfig {
 	return c.logical
 }
 
+// SetInstaller replaces the southbound installer. The storm harness uses
+// this to interpose a faults.FaultyInstaller on an already-routed
+// deployment: the logical store is untouched, only future installs route
+// through the new installer.
+func (c *Controller) SetInstaller(inst Installer) { c.installer = inst }
+
 // InstallRule records the rule logically and pushes it to the data plane,
 // returning the assigned rule ID.
 func (c *Controller) InstallRule(sw topo.SwitchID, r flowtable.Rule) (uint64, error) {

@@ -262,6 +262,16 @@ func (f *Fabric) SetParams(p bloom.Params) {
 	}
 }
 
+// SetSampler re-seats every switch's sampler with a fresh draw from the
+// factory — a mid-run sampling-rate shift (the storm harness's
+// sample-shift action). Like NewFabric, each switch gets its own instance,
+// so per-switch sampler state is never shared.
+func (f *Fabric) SetSampler(factory func() Sampler) {
+	for _, s := range f.switches {
+		s.sampler = factory()
+	}
+}
+
 // ResetCounters zeroes every switch's counters between experiment runs.
 func (f *Fabric) ResetCounters() {
 	for _, s := range f.switches {

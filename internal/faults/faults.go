@@ -99,7 +99,11 @@ func WrongPort(f *dataplane.Fabric, sw topo.SwitchID, ruleID uint64, rng *rand.R
 	if len(choices) == 0 {
 		return Injected{}, fmt.Errorf("faults: switch %d has no alternative port", sw)
 	}
-	newPort := choices[rng.Intn(len(choices))]
+	i := rng.Intn(len(choices))
+	if i < 0 || i >= len(choices) {
+		i = 0 // rng may be seeded from untrusted campaign files
+	}
+	newPort := choices[i]
 	inj := Injected{Kind: KindWrongPort, Switch: sw, RuleID: ruleID, OldPort: r.OutPort, NewPort: newPort}
 	err := s.Config.Table.Modify(ruleID, func(r *flowtable.Rule) {
 		r.Action = flowtable.ActOutput
@@ -218,7 +222,11 @@ func RandomRule(f *dataplane.Fabric, rng *rand.Rand) (topo.SwitchID, uint64, boo
 	if len(candidates) == 0 {
 		return 0, 0, false
 	}
-	c := candidates[rng.Intn(len(candidates))]
+	i := rng.Intn(len(candidates))
+	if i < 0 || i >= len(candidates) {
+		i = 0 // rng may be seeded from untrusted campaign files
+	}
+	c := candidates[i]
 	return c.sw, c.id, true
 }
 
@@ -234,6 +242,14 @@ type FaultyInstaller struct {
 	PriorityLossRate float64
 	Rng              *rand.Rand
 
+	// ForceDrop / ForceDegrade make the next FlowAdd deterministically
+	// faulty regardless of the rates (and with no Rng required) — one-shot
+	// triggers for targeted injections: the storm engine arms one, issues
+	// exactly one install through the controller, and the flag clears
+	// itself. ForceDrop wins when both are armed.
+	ForceDrop    bool
+	ForceDegrade bool
+
 	// Dropped records the FlowMods that never reached the data plane.
 	Dropped []*openflow.FlowMod
 	// Degraded records the FlowMods installed with lost priority.
@@ -245,11 +261,11 @@ type FaultyInstaller struct {
 // about silent failures, not noisy ones.
 func (fi *FaultyInstaller) Apply(f *openflow.FlowMod) error {
 	if f.Command == openflow.FlowAdd {
-		if fi.Rng.Float64() < fi.DropRate {
+		if fi.takeForce(&fi.ForceDrop) || fi.draw(fi.DropRate) {
 			fi.Dropped = append(fi.Dropped, f)
 			return nil // acknowledged, never installed
 		}
-		if fi.Rng.Float64() < fi.PriorityLossRate {
+		if fi.takeForce(&fi.ForceDegrade) || fi.draw(fi.PriorityLossRate) {
 			c := *f
 			c.Rule.Priority = 0
 			fi.Degraded = append(fi.Degraded, f)
@@ -257,6 +273,22 @@ func (fi *FaultyInstaller) Apply(f *openflow.FlowMod) error {
 		}
 	}
 	return fi.Inner.Apply(f)
+}
+
+// takeForce consumes a one-shot force flag.
+func (fi *FaultyInstaller) takeForce(flag *bool) bool {
+	if *flag {
+		*flag = false
+		return true
+	}
+	return false
+}
+
+// draw samples one rate. A zero rate never draws (so the RNG stream is
+// untouched by disabled fault classes) and a nil Rng disables rate-based
+// faults entirely rather than panicking.
+func (fi *FaultyInstaller) draw(rate float64) bool {
+	return rate > 0 && fi.Rng != nil && fi.Rng.Float64() < rate
 }
 
 // Barrier always succeeds immediately — the too-eager Barrier replies the

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -196,6 +197,150 @@ func TestTableOverflowReproducesPica8Bug(t *testing.T) {
 	}
 	if _, err := TableOverflow(f, 99, 1); err == nil {
 		t.Fatal("unknown switch accepted")
+	}
+}
+
+// errInstaller fails every southbound call, for error-propagation tests.
+type errInstaller struct{ err error }
+
+func (e errInstaller) Apply(*openflow.FlowMod) error { return e.err }
+func (e errInstaller) Barrier(topo.SwitchID) error   { return nil }
+
+// TestFaultsOnRemovedRule: every injector must reject a rule that is no
+// longer in the physical table instead of inventing state.
+func TestFaultsOnRemovedRule(t *testing.T) {
+	f, _, _ := testFabric(t)
+	rng := rand.New(rand.NewSource(6))
+	sw, id, ok := RandomRule(f, rng)
+	if !ok {
+		t.Fatal("no rule")
+	}
+	if _, err := Evict(f, sw, id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evict(f, sw, id); err == nil {
+		t.Fatal("Evict on a removed rule accepted")
+	}
+	if _, err := Blackhole(f, sw, id); err == nil {
+		t.Fatal("Blackhole on a removed rule accepted")
+	}
+	if _, err := WrongPort(f, sw, id, rng); err == nil {
+		t.Fatal("WrongPort on a removed rule accepted")
+	}
+}
+
+// TestTableOverflowCapacityEdges: capacity 0 pushes every rule into the
+// software table (relative order — and therefore forwarding — preserved),
+// capacity beyond the rule count is a no-op, and negative capacity errors.
+func TestTableOverflowCapacityZero(t *testing.T) {
+	f, c, n := testFabric(t)
+	sw := n.SwitchByName("s2").ID
+	before := map[uint64]uint16{}
+	for _, r := range c.Logical()[sw].Table.Rules() {
+		before[r.ID] = r.Priority
+	}
+	if len(before) < 2 {
+		t.Fatalf("want ≥2 rules, have %d", len(before))
+	}
+
+	inj, err := TableOverflow(f, sw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj) != len(before) {
+		t.Fatalf("degraded %d of %d rules", len(inj), len(before))
+	}
+	// Every physical priority rebased below the 65535 sentinel, relative
+	// order preserved, logical store untouched.
+	phys := f.Switch(sw).Config.Table
+	for id, pri := range before {
+		r := phys.Get(id)
+		if r == nil || r.Priority >= 65535 {
+			t.Fatalf("rule %d not rebased: %+v", id, r)
+		}
+		if c.Logical()[sw].Table.Get(id).Priority != pri {
+			t.Fatalf("rule %d: fault leaked into the logical store", id)
+		}
+	}
+	h := header.Header{SrcIP: n.Host("h1-0").IP, DstIP: n.Host("h3-0").IP, Proto: 6}
+	if got, want := phys.Lookup(1, h), c.Logical()[sw].Table.Lookup(1, h); (got == nil) != (want == nil) || (got != nil && got.ID != want.ID) {
+		t.Fatalf("capacity-0 overflow changed forwarding: %v vs %v", got, want)
+	}
+
+	if inj, err := TableOverflow(f, sw, len(before)+5); err != nil || inj != nil {
+		t.Fatalf("capacity > rule count should be a no-op: %v %v", inj, err)
+	}
+	if _, err := TableOverflow(f, sw, -1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+// TestFaultyInstallerErrorPropagation: the fault model is about silent
+// failures — noisy ones from the wrapped installer must still surface,
+// except on a dropped install, which by definition never reaches it.
+func TestFaultyInstallerErrorPropagation(t *testing.T) {
+	boom := errInstaller{err: errTest}
+	fi := &FaultyInstaller{Inner: boom}
+	add := &openflow.FlowMod{Command: openflow.FlowAdd, Switch: 1, RuleID: 1}
+	if err := fi.Apply(add); err != errTest {
+		t.Fatalf("Apply error %v, want %v", err, errTest)
+	}
+	fi.ForceDegrade = true
+	if err := fi.Apply(add); err != errTest {
+		t.Fatalf("degraded Apply error %v, want %v", err, errTest)
+	}
+	fi.ForceDrop = true
+	if err := fi.Apply(add); err != nil {
+		t.Fatalf("dropped install must be silent, got %v", err)
+	}
+	del := &openflow.FlowMod{Command: openflow.FlowDelete, Switch: 1, RuleID: 1}
+	if err := fi.Apply(del); err != errTest {
+		t.Fatalf("delete error %v, want %v", err, errTest)
+	}
+}
+
+var errTest = fmt.Errorf("southbound boom")
+
+// TestFaultyInstallerForceFlags: the one-shot triggers fire exactly once,
+// need no Rng, and a zero-rate installer with nil Rng passes through.
+func TestFaultyInstallerForceFlags(t *testing.T) {
+	n := topo.Linear(2, 1)
+	f := dataplane.NewFabric(n)
+	fi := &FaultyInstaller{Inner: &dataplane.FabricInstaller{Fabric: f}} // no Rng at all
+	c := controller.New(n, fi)
+	sw := n.SwitchByName("s1").ID
+
+	fi.ForceDrop = true
+	id1, err := c.InstallRule(sw, flowtable.Rule{Priority: 40, Action: flowtable.ActOutput, OutPort: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Switch(sw).Config.Table.Get(id1) != nil {
+		t.Fatal("forced drop reached the data plane")
+	}
+	if fi.ForceDrop || len(fi.Dropped) != 1 {
+		t.Fatalf("ForceDrop not consumed exactly once: flag=%t dropped=%d", fi.ForceDrop, len(fi.Dropped))
+	}
+
+	fi.ForceDegrade = true
+	id2, err := c.InstallRule(sw, flowtable.Rule{Priority: 40, Action: flowtable.ActOutput, OutPort: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Switch(sw).Config.Table.Get(id2).Priority; got != 0 {
+		t.Fatalf("forced degrade priority %d, want 0", got)
+	}
+	if fi.ForceDegrade || len(fi.Degraded) != 1 {
+		t.Fatal("ForceDegrade not consumed exactly once")
+	}
+
+	// With no flags and no Rng, installs pass through faithfully.
+	id3, err := c.InstallRule(sw, flowtable.Rule{Priority: 40, Action: flowtable.ActOutput, OutPort: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Switch(sw).Config.Table.Get(id3); got == nil || got.Priority != 40 {
+		t.Fatalf("pass-through broken: %+v", got)
 	}
 }
 

@@ -116,6 +116,9 @@ type StanfordScale struct {
 	// structure Figure 6 shows for the real configuration.
 	ServicePolicies int
 	Seed            int64
+	// Rng, when non-nil, supplies the randomness instead of Seed — for
+	// harnesses threading one deterministic stream through several builds.
+	Rng *rand.Rand
 }
 
 // StanfordDefault keeps experiments laptop-fast while preserving the
@@ -132,7 +135,7 @@ var StanfordFull = StanfordScale{HostsPerRouter: 8, SubnetsPerRouter: 2080, ACLR
 func StanfordEnv(scale StanfordScale, params bloom.Params, opts ...dataplane.Option) (*Env, error) {
 	n := topo.Stanford(scale.HostsPerRouter)
 	e := newEnv("Stanford", n, params, opts...)
-	rng := rand.New(rand.NewSource(scale.Seed))
+	rng := rngOr(scale.Rng, scale.Seed)
 
 	for idx := 0; idx < 14; idx++ {
 		base, _ := topo.StanfordSubnet(idx)
@@ -228,6 +231,8 @@ type Internet2Scale struct {
 	// inport-outport pairs a second path as in Figure 6.
 	ServicePolicies int
 	Seed            int64
+	// Rng, when non-nil, supplies the randomness instead of Seed.
+	Rng *rand.Rand
 }
 
 // Internet2Default is laptop-fast; Internet2Full reproduces the published
@@ -242,7 +247,7 @@ var (
 func Internet2Env(scale Internet2Scale, params bloom.Params, opts ...dataplane.Option) (*Env, error) {
 	n := topo.Internet2(scale.HostsPerRouter)
 	e := newEnv("Internet2", n, params, opts...)
-	rng := rand.New(rand.NewSource(scale.Seed))
+	rng := rngOr(scale.Rng, scale.Seed)
 
 	seen := map[flowtable.Prefix]bool{}
 	for i := 0; i < scale.Prefixes; i++ {

@@ -69,7 +69,7 @@ func FalseNegativeSweep(e *Env, sizes []int, trials int, seed int64) ([]FNRPoint
 		}
 		e.Fabric.SetParams(params)
 		pt.SetParams(params)
-		rng := rand.New(rand.NewSource(seed + int64(m)))
+		rng := NewRNG(seed + int64(m))
 		point := FNRPoint{MBits: m}
 
 		for trial := 0; trial < trials; trial++ {

@@ -27,6 +27,8 @@ type LatencyConfig struct {
 	MaxInterArrival  time.Duration // T_a: packet gaps are uniform in (0, T_a]
 	Trials           int
 	Seed             int64
+	// Rng, when non-nil, supplies the randomness instead of Seed.
+	Rng *rand.Rand
 }
 
 // LatencyResult reports measured detection latencies against the bound.
@@ -54,7 +56,7 @@ func DetectionLatency(cfg LatencyConfig) (*LatencyResult, error) {
 	if cfg.SamplingInterval <= 0 || cfg.MaxInterArrival <= 0 || cfg.Trials <= 0 {
 		return nil, fmt.Errorf("sim: invalid latency config %+v", cfg)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rngOr(cfg.Rng, cfg.Seed)
 	res := &LatencyResult{Bound: cfg.SamplingInterval + cfg.MaxInterArrival}
 
 	for trial := 0; trial < cfg.Trials; trial++ {

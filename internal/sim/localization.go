@@ -54,9 +54,13 @@ func (r LocalizationResult) StrawmanAccuracy() float64 {
 // rounds. Each round injects one wrong-port fault on a random rule,
 // replays the ping mesh, and restores the rule.
 func Localization(e *Env, rounds int, seed int64) (LocalizationResult, error) {
+	return LocalizationRNG(e, rounds, NewRNG(seed))
+}
+
+// LocalizationRNG is Localization drawing from a caller-owned stream.
+func LocalizationRNG(e *Env, rounds int, rng *rand.Rand) (LocalizationResult, error) {
 	pt := e.Table()
 	mesh := traffic.PingMesh(e.Net)
-	rng := rand.New(rand.NewSource(seed))
 	var result LocalizationResult
 
 	// Faulted rules on switches no ping path crosses are inert; retry such

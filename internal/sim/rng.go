@@ -1,0 +1,21 @@
+// Deterministic randomness plumbing. Every sim experiment draws all of
+// its randomness from one seeded *rand.Rand, so a seed fully determines
+// an experiment's trace — the property TestSeedDeterminism asserts and
+// the storm campaign engine builds on. Configs keep their Seed fields as
+// the simple interface; an explicit Rng (a harness threading one stream
+// through several experiments) takes precedence when set.
+
+package sim
+
+import "math/rand"
+
+// NewRNG returns the canonical deterministic source for a seed.
+func NewRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// rngOr returns rng, or a fresh seeded source when rng is nil.
+func rngOr(rng *rand.Rand, seed int64) *rand.Rand {
+	if rng != nil {
+		return rng
+	}
+	return NewRNG(seed)
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"math/rand"
 	"testing"
 
 	"veridp/internal/bloom"
@@ -22,7 +21,7 @@ import (
 func TestSoakRandomFaults(t *testing.T) {
 	params := bloom.Params{MBits: 64}
 	for seed := int64(0); seed < 8; seed++ {
-		rng := rand.New(rand.NewSource(1000 + seed))
+		rng := NewRNG(1000 + seed)
 		var (
 			e   *Env
 			err error
@@ -129,7 +128,7 @@ func TestSoakRepairConverges(t *testing.T) {
 	}
 	pt := e.Table()
 	mesh := traffic.PingMesh(e.Net)
-	rng := rand.New(rand.NewSource(77))
+	rng := NewRNG(77)
 	inst := installerFor(e)
 
 	repaired := 0

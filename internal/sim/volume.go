@@ -24,6 +24,8 @@ type VolumeConfig struct {
 	MeanInterArrival time.Duration // exponential-ish gaps between a flow's packets
 	SamplingInterval time.Duration // VeriDP's per-flow T_s
 	Seed             int64
+	// Rng, when non-nil, supplies the randomness instead of Seed.
+	Rng *rand.Rand
 }
 
 // VolumeResult reports the two systems' telemetry volumes.
@@ -48,7 +50,7 @@ func ReportVolume(cfg VolumeConfig) (*VolumeResult, error) {
 	if cfg.Flows <= 0 || cfg.PacketsPerFlow <= 0 {
 		return nil, fmt.Errorf("sim: invalid volume config %+v", cfg)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rngOr(cfg.Rng, cfg.Seed)
 	n := topo.FatTree(4)
 	now := time.Unix(50_000, 0)
 	f := dataplane.NewFabric(n,

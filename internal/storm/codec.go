@@ -1,0 +1,83 @@
+// Campaign file codec. Campaigns are versioned JSON documents so a failing
+// sequence found by one build replays on another; Decode validates hard
+// (unknown ops, absurd sizes, wrong version all error) because campaign
+// files cross trust boundaries: CI artifacts, bug reports, fuzz corpora.
+
+package storm
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"veridp/internal/bloom"
+)
+
+const (
+	// Version is the current campaign file format version.
+	Version = 1
+	// MaxSteps bounds a campaign's length; far above any useful run, it
+	// exists so a malformed file cannot demand unbounded work.
+	MaxSteps = 100_000
+	// MaxProbes bounds the per-step probe count.
+	MaxProbes = 64
+)
+
+// Topologies lists the deployments a campaign may target.
+var Topologies = []string{"ft4", "ft6", "figure5"}
+
+// Validate checks the campaign is well-formed and within bounds.
+func (c *Campaign) Validate() error {
+	if c.Version != Version {
+		return fmt.Errorf("storm: campaign version %d, want %d", c.Version, Version)
+	}
+	known := false
+	for _, t := range Topologies {
+		if c.Topo == t {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("storm: unknown topology %q (have %v)", c.Topo, Topologies)
+	}
+	if err := (bloom.Params{MBits: c.MBits}).Validate(); err != nil {
+		return fmt.Errorf("storm: %w", err)
+	}
+	if c.Probes < 1 || c.Probes > MaxProbes {
+		return fmt.Errorf("storm: probes %d out of range [1,%d]", c.Probes, MaxProbes)
+	}
+	if len(c.Steps) > MaxSteps {
+		return fmt.Errorf("storm: %d steps exceed the %d cap", len(c.Steps), MaxSteps)
+	}
+	for i, st := range c.Steps {
+		if st.Op >= numOps {
+			return fmt.Errorf("storm: step %d has invalid op %d", i, uint8(st.Op))
+		}
+	}
+	return nil
+}
+
+// Encode renders a validated campaign as its canonical JSON document.
+func Encode(c *Campaign) ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses and validates a campaign document. It never panics on
+// malformed input — FuzzCampaignReplay holds it to that.
+func Decode(data []byte) (*Campaign, error) {
+	var c Campaign
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("storm: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

@@ -1,0 +1,129 @@
+package storm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func validCampaign() *Campaign {
+	return &Campaign{
+		Version: Version,
+		Topo:    "ft4",
+		MBits:   64,
+		Probes:  2,
+		Seed:    9,
+		Steps: []Step{
+			{Op: OpChurnInstall, Pick: 1},
+			{Op: OpCompact, Pick: 2},
+		},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := validCampaign()
+	data, err := Encode(c)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", c, got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Campaign)
+		want string
+	}{
+		{"version", func(c *Campaign) { c.Version = 2 }, "version"},
+		{"topology", func(c *Campaign) { c.Topo = "clos" }, "topology"},
+		{"mbits", func(c *Campaign) { c.MBits = -1 }, ""},
+		{"probes-zero", func(c *Campaign) { c.Probes = 0 }, "probes"},
+		{"probes-huge", func(c *Campaign) { c.Probes = MaxProbes + 1 }, "probes"},
+		{"steps-cap", func(c *Campaign) { c.Steps = make([]Step, MaxSteps+1) }, "cap"},
+		{"bad-op", func(c *Campaign) { c.Steps[0].Op = numOps }, "invalid op"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := validCampaign()
+			tc.mut(c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if _, err := Encode(c); err == nil {
+				t.Fatalf("Encode accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"", "{", "null", `{"version":1}`,
+		`{"version":1,"topo":"ft4","mbits":64,"probes":1,"steps":[{"op":"warp","pick":1}]}`,
+		`{"version":1,"topo":"ft4","mbits":64,"probes":1,"steps":[{"op":7,"pick":1}]}`,
+	} {
+		if _, err := Decode([]byte(bad)); err == nil {
+			t.Errorf("Decode(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestOpNamesRoundTrip(t *testing.T) {
+	for o := Op(0); o < numOps; o++ {
+		got, err := ParseOp(o.String())
+		if err != nil || got != o {
+			t.Fatalf("ParseOp(%q) = %v, %v; want %v", o.String(), got, err, o)
+		}
+	}
+	if _, err := ParseOp("nope"); err == nil {
+		t.Fatal("ParseOp accepted unknown name")
+	}
+	if s := Op(200).String(); s != "Op(200)" {
+		t.Fatalf("out-of-range String() = %q", s)
+	}
+	if _, err := Op(200).MarshalJSON(); err == nil {
+		t.Fatal("MarshalJSON accepted out-of-range op")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate("ft6", 77, 300, 3, GenOptions{})
+	b := Generate("ft6", 77, 300, 3, GenOptions{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed generated different campaigns")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated campaign invalid: %v", err)
+	}
+	c := Generate("ft6", 78, 300, 3, GenOptions{})
+	if reflect.DeepEqual(a.Steps, c.Steps) {
+		t.Fatal("different seeds generated identical step sequences")
+	}
+	for _, st := range Generate("ft4", 5, 500, 2, GenOptions{}).Steps {
+		if st.Op == OpDesyncParams {
+			t.Fatal("default generator emitted the desync-params self-test op")
+		}
+	}
+	d := Generate("ft4", 5, 500, 2, GenOptions{DesyncWeight: 50})
+	found := false
+	for _, st := range d.Steps {
+		if st.Op == OpDesyncParams {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("DesyncWeight 50 over 500 steps emitted no desync-params op")
+	}
+}

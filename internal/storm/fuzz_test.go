@@ -1,0 +1,49 @@
+package storm
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzCampaignReplay holds the campaign codec to its trust-boundary
+// contract: arbitrary bytes never panic Decode, and anything that decodes
+// re-encodes to a document that decodes back to the same campaign — the
+// property that makes a CI artifact from one build replayable on another.
+func FuzzCampaignReplay(f *testing.F) {
+	dir := filepath.Join("..", "..", "testdata", "storm")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("seed corpus: %v", err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatalf("seed corpus: %v", err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"version":1,"topo":"figure5","mbits":16,"probes":1,"seed":0,"steps":[]}`))
+	f.Add([]byte(`{"version":1,"topo":"ft4","mbits":64,"probes":64,"seed":-1,"steps":[{"op":"overflow","pick":-9}]}`))
+	f.Add([]byte(`{"op":"desync-params"`))
+	f.Add([]byte("null"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(data)
+		if err != nil {
+			return // malformed input must error, never panic
+		}
+		enc, err := Encode(c)
+		if err != nil {
+			t.Fatalf("decoded campaign failed to re-encode: %v", err)
+		}
+		c2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded campaign failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(c, c2) {
+			t.Fatalf("decode/encode/decode changed the campaign:\n%+v\n%+v", c, c2)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+// Campaign generation: a weighted draw per step, all randomness from the
+// campaign seed. Churn dominates (it is the background noise real
+// controllers produce); faults, maintenance, and restarts are salted in.
+
+package storm
+
+import "math/rand"
+
+// GenOptions tunes generation.
+type GenOptions struct {
+	// DesyncWeight is the weight of the desync-params self-test op.
+	// Default 0: an honest campaign never desyncs the planes' parameters,
+	// so any failure it reports is real.
+	DesyncWeight int
+}
+
+// genWeights is the default op mix.
+var genWeights = [numOps]int{
+	OpChurnInstall:     12,
+	OpChurnDelete:      8,
+	OpReroute:          6,
+	OpWrongPort:        4,
+	OpBlackhole:        3,
+	OpEvict:            3,
+	OpOverflow:         2,
+	OpMissedRule:       4,
+	OpPriorityLoss:     3,
+	OpSampleShift:      4,
+	OpCompact:          3,
+	OpSwap:             3,
+	OpRestartMonitor:   2,
+	OpRestartCollector: 2,
+	OpDesyncParams:     0,
+}
+
+// Generate draws a steps-long campaign for the topology. The same
+// (topo, seed, steps, probes, opt) always yields the same campaign; each
+// step's Pick is drawn from the same stream, so the campaign file is the
+// complete record of the run.
+func Generate(topoName string, seed int64, steps, probes int, opt GenOptions) *Campaign {
+	rng := rand.New(rand.NewSource(seed))
+	w := genWeights
+	if opt.DesyncWeight > 0 {
+		w[OpDesyncParams] = opt.DesyncWeight
+	}
+	total := 0
+	for _, x := range w {
+		total += x
+	}
+	c := &Campaign{Version: Version, Topo: topoName, MBits: 64, Probes: probes, Seed: seed}
+	for i := 0; i < steps; i++ {
+		r := rng.Intn(total)
+		op := Op(0)
+		for o := Op(0); o < numOps; o++ {
+			if r < w[o] {
+				op = o
+				break
+			}
+			r -= w[o]
+		}
+		c.Steps = append(c.Steps, Step{Op: op, Pick: rng.Int63()})
+	}
+	return c
+}

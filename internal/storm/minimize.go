@@ -1,0 +1,193 @@
+// The failure minimizer: classic ddmin (Zeller's delta debugging) over
+// campaign steps. Because every step is self-contained (its Pick seeds a
+// private RNG), any subsequence of a failing campaign is itself a valid
+// campaign — the structural property ddmin needs. The result is a
+// 1-minimal failing campaign small enough to read, commit, and replay as
+// a regression test.
+
+package storm
+
+import (
+	"context"
+	"fmt"
+)
+
+// MinimizeBudget is the default bound on campaign re-runs during
+// minimization.
+const MinimizeBudget = 400
+
+// minState carries the shrink loop's bookkeeping.
+type minState struct {
+	base   *Campaign
+	oracle string // the failure must stay on this oracle to count
+	budget int
+	runs   int
+	logf   func(format string, args ...any)
+}
+
+// Minimize shrinks a failing campaign to a smaller one that still fails
+// the same oracle. It first re-runs the campaign to confirm and locate
+// the failure, truncates everything past the failing step, then applies
+// ddmin followed by a 1-minimal single-removal pass. The run budget
+// bounds total work; on exhaustion the best reduction so far is
+// returned. A campaign that does not fail yields an error.
+func Minimize(ctx context.Context, c *Campaign, budget int, logf func(format string, args ...any)) (*Campaign, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if budget <= 0 {
+		budget = MinimizeBudget
+	}
+	res, err := Run(ctx, c, logf)
+	if err != nil {
+		return nil, err
+	}
+	if res.Failure == nil {
+		return nil, fmt.Errorf("storm: campaign passes all oracles; nothing to minimize")
+	}
+	m := &minState{base: c, oracle: res.Failure.Oracle, budget: budget, runs: 1, logf: logf}
+
+	// Steps past the failing one never executed; drop them for free.
+	last := res.Failure.Step
+	if last < 0 || last >= len(c.Steps) {
+		last = len(c.Steps) - 1
+	}
+	steps := append([]Step(nil), c.Steps[:last+1]...)
+	logf("storm: minimizing %d steps failing oracle %s", len(steps), m.oracle)
+
+	steps, err = m.ddmin(ctx, steps)
+	if err != nil {
+		return nil, err
+	}
+	steps, err = m.oneMinimal(ctx, steps)
+	if err != nil {
+		return nil, err
+	}
+	logf("storm: minimized to %d steps in %d runs", len(steps), m.runs)
+	out := *c
+	out.Steps = steps
+	return &out, nil
+}
+
+// fails re-runs the base campaign with the candidate step sequence and
+// reports whether it still fails the original oracle.
+func (m *minState) fails(ctx context.Context, steps []Step) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if m.runs >= m.budget {
+		return false, nil // budget exhausted: treat as passing, keep best-so-far
+	}
+	m.runs++
+	cand := *m.base
+	cand.Steps = steps
+	res, err := Run(ctx, &cand, func(string, ...any) {})
+	if err != nil {
+		return false, err
+	}
+	return res.Failure != nil && res.Failure.Oracle == m.oracle, nil
+}
+
+// ddmin is the classic algorithm: split into n chunks, try each chunk
+// alone, then each complement; on success recurse with the reduction,
+// otherwise double the granularity until it exceeds the sequence length.
+func (m *minState) ddmin(ctx context.Context, steps []Step) ([]Step, error) {
+	n := 2
+	for len(steps) >= 2 {
+		chunks := split(steps, n)
+		reduced := false
+
+		for _, ch := range chunks {
+			ok, err := m.fails(ctx, ch)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				steps, n, reduced = ch, 2, true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+
+		for i := range chunks {
+			comp := complement(chunks, i)
+			ok, err := m.fails(ctx, comp)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				steps, reduced = comp, true
+				n = maxInt(n-1, 2)
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+
+		if n >= len(steps) {
+			break
+		}
+		n = minInt(n*2, len(steps))
+	}
+	return steps, nil
+}
+
+// oneMinimal removes single steps until no single removal still fails.
+func (m *minState) oneMinimal(ctx context.Context, steps []Step) ([]Step, error) {
+	for i := 0; i < len(steps) && len(steps) > 1; {
+		cand := make([]Step, 0, len(steps)-1)
+		cand = append(cand, steps[:i]...)
+		cand = append(cand, steps[i+1:]...)
+		ok, err := m.fails(ctx, cand)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			steps = cand // retry same index: a new step shifted into it
+		} else {
+			i++
+		}
+	}
+	return steps, nil
+}
+
+// split partitions steps into n non-empty contiguous chunks.
+func split(steps []Step, n int) [][]Step {
+	if n > len(steps) {
+		n = len(steps)
+	}
+	chunks := make([][]Step, 0, n)
+	size := len(steps) / n
+	rem := len(steps) % n
+	at := 0
+	for i := 0; i < n; i++ {
+		sz := size
+		if i < rem {
+			sz++
+		}
+		chunks = append(chunks, steps[at:at+sz])
+		at += sz
+	}
+	return chunks
+}
+
+// complement concatenates every chunk except the i-th.
+func complement(chunks [][]Step, i int) []Step {
+	var out []Step
+	for j, ch := range chunks {
+		if j != i {
+			out = append(out, ch...)
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

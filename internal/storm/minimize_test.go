@@ -1,0 +1,80 @@
+package storm
+
+import (
+	"context"
+	"testing"
+)
+
+// TestMinimizeKnownFailure seeds a campaign with noise around one
+// desync-params step and checks ddmin strips everything else: the
+// minimized campaign has at most a handful of steps (this one shrinks to
+// exactly the desync step), still fails the same oracle, and stays
+// within the run budget.
+func TestMinimizeKnownFailure(t *testing.T) {
+	noise := Generate("ft4", 3, 12, 2, GenOptions{})
+	c := &Campaign{Version: Version, Topo: "ft4", MBits: 64, Probes: 2, Seed: 3}
+	c.Steps = append(c.Steps, noise.Steps[:8]...)
+	c.Steps = append(c.Steps, Step{Op: OpDesyncParams, Pick: 7})
+	c.Steps = append(c.Steps, noise.Steps[8:]...)
+
+	min, err := Minimize(context.Background(), c, 100, t.Logf)
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if len(min.Steps) > 10 {
+		t.Fatalf("minimized campaign still has %d steps", len(min.Steps))
+	}
+	hasDesync := false
+	for _, st := range min.Steps {
+		if st.Op == OpDesyncParams {
+			hasDesync = true
+		}
+	}
+	if !hasDesync {
+		t.Fatalf("minimized campaign lost the culprit step: %+v", min.Steps)
+	}
+	res, err := Run(context.Background(), min, nil)
+	if err != nil {
+		t.Fatalf("replay minimized: %v", err)
+	}
+	if res.Failure == nil || res.Failure.Oracle != OracleNoFalsePositive {
+		t.Fatalf("minimized campaign failure = %v, want %s", res.Failure, OracleNoFalsePositive)
+	}
+}
+
+// TestMinimizePassingCampaign: nothing to shrink is an error, not a
+// zero-step campaign.
+func TestMinimizePassingCampaign(t *testing.T) {
+	c := Generate("ft4", 1, 10, 1, GenOptions{})
+	if _, err := Minimize(context.Background(), c, 50, nil); err == nil {
+		t.Fatal("Minimize accepted a passing campaign")
+	}
+}
+
+func TestSplitComplement(t *testing.T) {
+	steps := make([]Step, 7)
+	for i := range steps {
+		steps[i].Pick = int64(i)
+	}
+	chunks := split(steps, 3)
+	if len(chunks) != 3 {
+		t.Fatalf("split produced %d chunks", len(chunks))
+	}
+	total := 0
+	for _, ch := range chunks {
+		if len(ch) == 0 {
+			t.Fatal("split produced an empty chunk")
+		}
+		total += len(ch)
+	}
+	if total != len(steps) {
+		t.Fatalf("split covers %d of %d steps", total, len(steps))
+	}
+	comp := complement(chunks, 1)
+	if len(comp)+len(chunks[1]) != len(steps) {
+		t.Fatalf("complement of chunk 1 has %d steps", len(comp))
+	}
+	if split(steps, 100)[0][0].Pick != 0 {
+		t.Fatal("oversized n did not clamp")
+	}
+}

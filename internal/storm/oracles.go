@@ -1,0 +1,56 @@
+// The invariant oracles. After every campaign step the engine drives a
+// probe phase and checks five properties; violating any one halts the
+// campaign with a Failure the minimizer can shrink. Each oracle pins down
+// one subsystem (the DESIGN.md table spells the mapping out):
+//
+//	one-verdict        snapshot publication (core.Handle / core.Snapshot)
+//	no-false-positive  path-table construction + Algorithm 3 verification
+//	localization       Algorithm 4 PathInfer / FaultySwitch
+//	counter-fold       report pipeline (Sender → Collector worker pool)
+//	no-leak            lifecycle contract (ctx-governed Run/Close paths)
+
+package storm
+
+import "fmt"
+
+// Oracle names, as written into failure reports and campaign artifacts.
+const (
+	// OracleOneVerdict: a report verified twice against one pinned
+	// snapshot yields the same verdict — including while Compact/Swap
+	// maintenance runs concurrently.
+	OracleOneVerdict = "one-verdict"
+	// OracleNoFalsePositive: a probe whose actual path equals its
+	// intended path never produces a failing report; on a fault-free
+	// prefix that is every probe.
+	OracleNoFalsePositive = "no-false-positive"
+	// OracleLocalization: with 64-bit tags and a single injected fault,
+	// every deviated-and-reported probe is detected, localization
+	// recovers the ground-truth path, and the blamed switch is the
+	// divergence switch.
+	OracleLocalization = "localization"
+	// OracleCounterFold: every report the fabric emitted is accounted
+	// for — collector shard counters fold exactly to the sent count and
+	// the handler invocation count, with zero malformed datagrams.
+	OracleCounterFold = "counter-fold"
+	// OracleNoLeak: after collector teardown (mid-campaign restart or
+	// final shutdown) the goroutine count returns to the pre-deployment
+	// baseline.
+	OracleNoLeak = "no-leak"
+)
+
+// Failure is one oracle violation: the step it surfaced at, the oracle it
+// violated, and a human-readable account. It halts the campaign — state
+// after a violated invariant proves nothing further.
+type Failure struct {
+	Step   int    `json:"step"`
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail"`
+}
+
+func (f *Failure) String() string {
+	return fmt.Sprintf("step %d: oracle %s: %s", f.Step, f.Oracle, f.Detail)
+}
+
+func failf(step int, oracle, format string, args ...any) *Failure {
+	return &Failure{Step: step, Oracle: oracle, Detail: fmt.Sprintf(format, args...)}
+}
