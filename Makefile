@@ -42,7 +42,7 @@ fmt:
 	fi
 
 lint:
-	$(GO) run ./cmd/veridp-lint -baseline lint.baseline ./...
+	$(GO) run ./cmd/veridp-lint -timing -baseline lint.baseline ./...
 
 race:
 	$(GO) test -race ./...

@@ -36,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"veridp/internal/lint"
 )
@@ -77,6 +78,7 @@ func run(stdout, stderr io.Writer, args []string) int {
 	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
 	pruneBaseline := fs.String("prune-baseline", "", "rewrite this baseline file dropping entries no longer reported, and exit 0")
 	staleSuppr := fs.Bool("stale-suppressions", false, "report //lint:ignore comments that silence nothing (maintenance gate: exit 1 when any are stale)")
+	timing := fs.Bool("timing", false, "print per-checker wall time (and the shared program-build time) to stderr")
 	list := fs.Bool("list", false, "list available checkers and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: veridp-lint [flags] [packages]\n\nExit status: 0 clean, 1 findings, 2 usage/load error.\n\nCheckers:\n")
@@ -125,7 +127,16 @@ func run(stdout, stderr io.Writer, args []string) int {
 		return 2
 	}
 
-	result := lint.Run(pkgs, analyzers)
+	result, stats := lint.RunStats(pkgs, analyzers)
+	if *timing {
+		// Timing goes to stderr so -json stdout stays machine-readable and
+		// the golden plain output is unchanged.
+		fmt.Fprintf(stderr, "veridp-lint: program build %v (shared by %d checkers)\n",
+			stats.BuildProgram.Round(time.Microsecond), len(analyzers))
+		for _, ct := range stats.Checkers {
+			fmt.Fprintf(stderr, "veridp-lint:   %-14s %v\n", ct.Name, ct.Duration.Round(time.Microsecond))
+		}
+	}
 
 	if *writeBaseline != "" {
 		f, err := os.Create(*writeBaseline)

@@ -112,6 +112,7 @@ func run(ctx context.Context, logger *log.Logger) error {
 		return err
 	}
 	defer collector.Close()
+	// chan: buffered 1 — the Run goroutine hands off its exit status without rendezvous, so it can never leak
 	collectorDone := make(chan error, 1)
 	go func() {
 		// Run drains its workers before returning, so a receive from

@@ -59,6 +59,7 @@ func run(ctx context.Context) error {
 	for _, sw := range net_.Switches() {
 		logical[sw.ID] = flowtable.NewSwitchConfig(sw.Ports())
 	}
+	// chan: buffered 64 — verdict callbacks fire on collector workers; the buffer absorbs bursts between the demo's prints
 	verdicts := make(chan string, 64)
 	mon := veridp.NewMonitor(net_, logical, veridp.MonitorConfig{
 		OnVerified: func(r *veridp.Report) {
@@ -171,6 +172,7 @@ func run(ctx context.Context) error {
 // await wraps the verdict channel with a timeout so a lost UDP datagram
 // cannot hang the example.
 func await(ch chan string) chan string {
+	// chan: buffered 1 — the helper sends exactly once and exits without waiting on the printer
 	out := make(chan string, 1)
 	go func() {
 		select {

@@ -291,6 +291,7 @@ func (s *Server) DumpTable(sw topo.SwitchID) ([]*flowtable.Rule, error) {
 	if err != nil {
 		return nil, err
 	}
+	// chan: buffered 1 — serveConn delivers outside s.mu; one slot lets its send-and-close finish even after this waiter times out
 	ch := make(chan []*flowtable.Rule, 1)
 	xid := c.NextXid()
 	s.mu.Lock()

@@ -1,0 +1,140 @@
+//go:build race
+
+// Race-gated regression for the dump-delivery contract. serveConn hands
+// table-dump results to waiters outside s.mu: it claims the channel by
+// deleting the waiter key under the lock, then sends and closes with no
+// lock held. The channel's single buffer slot is what makes that safe —
+// a waiter that timed out between the delete and the send has abandoned
+// the channel, and without the slot serveConn would park on the send
+// forever, wedging the switch's entire reply loop. This test drives the
+// timeout and the delivery into each other with jitter that straddles
+// the deadline, then proves the reply loop survived: a final dump with a
+// generous deadline must still come back.
+
+package controller
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"veridp/internal/flowtable"
+	"veridp/internal/openflow"
+	"veridp/internal/topo"
+)
+
+// TestServerDumpTimeoutRacesDelivery hammers DumpTable and Barrier with
+// a deadline the switch's reply jitter lands on either side of, so every
+// interleaving of "waiter times out" and "serveConn delivers" happens
+// many times under the race detector.
+func TestServerDumpTimeoutRacesDelivery(t *testing.T) {
+	srv := NewServer()
+	srv.Timeout = 5 * time.Second
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(context.Background(), l) }()
+
+	raw, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	swc := openflow.NewConn(raw)
+	if err := swc.SendHello(7); err != nil {
+		t.Fatal(err)
+	}
+	rules := []*flowtable.Rule{{ID: 1, Priority: 2, Action: flowtable.ActOutput, OutPort: 3}}
+	go func() {
+		rng := rand.New(rand.NewSource(1))
+		for {
+			m, err := swc.Recv()
+			if err != nil {
+				return
+			}
+			// Jitter around the 2ms hammer deadline below: some replies
+			// beat the waiter's timer, some lose to it mid-delivery.
+			time.Sleep(time.Duration(rng.Intn(4)) * time.Millisecond)
+			switch m.Type {
+			case openflow.TypeBarrierRequest:
+				if err := swc.SendBarrierReply(m.Xid); err != nil {
+					return
+				}
+			case openflow.TypeTableDumpRequest:
+				reply := &openflow.Message{
+					Type: openflow.TypeTableDumpReply,
+					Xid:  m.Xid,
+					Body: openflow.MarshalTableDump(rules),
+				}
+				if err := swc.Send(reply); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	if err := srv.WaitForSwitches([]topo.SwitchID{7}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer with a deadline inside the jitter band. Timeouts are an
+	// expected outcome here; what must never happen is a hang, a wrong
+	// result, or a race on the waiter maps.
+	srv.Timeout = 2 * time.Millisecond
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 40; j++ {
+				if i%2 == 0 {
+					if err := srv.Barrier(7); err != nil && !strings.Contains(err.Error(), "timeout") {
+						errs <- err
+						return
+					}
+					continue
+				}
+				got, err := srv.DumpTable(7)
+				if err != nil {
+					if !strings.Contains(err.Error(), "timeout") {
+						errs <- err
+						return
+					}
+					continue
+				}
+				if len(got) != 1 || got[0].ID != 1 {
+					errs <- fmt.Errorf("dump returned wrong rules: %v", got)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The wedge check: if any abandoned dump parked serveConn on its
+	// send, the reply loop is dead and this generous-deadline dump can
+	// never come back.
+	srv.Timeout = 5 * time.Second
+	got, err := srv.DumpTable(7)
+	if err != nil || len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("reply loop wedged after timeout storm: rules=%v err=%v", got, err)
+	}
+
+	srv.Close()
+	select {
+	case <-serveDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not drain after Close")
+	}
+}

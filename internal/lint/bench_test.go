@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// BenchmarkLintWholeRepo measures one full veridp-lint analysis pass —
+// every registered checker over every package in the module — with the
+// load/type-check cost paid once outside the timer. This is the number
+// the shared-Program refactor moves: the Program (call graph + lockset
+// summaries) is built once per Run and shared by all checkers, so the
+// per-iteration cost is one BuildProgram plus the checker passes.
+func BenchmarkLintWholeRepo(b *testing.B) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(out)))
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		result, stats := RunStats(pkgs, Analyzers)
+		if len(result.Diags) != 0 {
+			b.Fatalf("the repo must lint clean during the benchmark, got %d findings", len(result.Diags))
+		}
+		if len(stats.Checkers) != len(Analyzers) {
+			b.Fatalf("stats cover %d checkers, want %d", len(stats.Checkers), len(Analyzers))
+		}
+	}
+}

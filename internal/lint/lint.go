@@ -19,6 +19,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Diagnostic is one finding: a position, the checker that produced it,
@@ -33,9 +34,11 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Checker)
 }
 
-// Pass carries one type-checked package through one analyzer. For
-// whole-program analyzers (Analyzer.Global) the per-package fields are
-// nil and Prog holds the cross-package view instead.
+// Pass carries one type-checked package through one analyzer. Prog —
+// the shared cross-package view (call graph, summaries), built once per
+// run — is set on every pass; for whole-program analyzers
+// (Analyzer.Global) the per-package fields are nil and Prog is the
+// entire input.
 type Pass struct {
 	Fset  *token.FileSet
 	Files []*ast.File
@@ -85,6 +88,9 @@ var Analyzers = []*Analyzer{
 	CtxProp,
 	Deadline,
 	RetryBound,
+	ChanFlow,
+	WgSync,
+	TickLeak,
 }
 
 // ByName returns the analyzer registered under name, or nil.
@@ -104,18 +110,44 @@ type Result struct {
 	Suppressed []Diagnostic
 }
 
+// CheckerTiming is one analyzer's wall time within a run.
+type CheckerTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Stats reports where a run's wall time went: the single whole-program
+// build (call graph + lock summaries, shared by every checker) and each
+// analyzer's own pass.
+type Stats struct {
+	BuildProgram time.Duration
+	Checkers     []CheckerTiming
+}
+
 // Run applies each analyzer to each package (or, for Global analyzers,
 // once to the whole program), filters `//lint:ignore` suppressions, and
 // returns both lists sorted by file position. All packages must share
 // one token.FileSet, which is how Load and CheckFiles build them.
 func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	result, _ := RunStats(pkgs, analyzers)
+	return result
+}
+
+// RunStats is Run plus per-checker wall-time accounting. The Program is
+// built exactly once up front — every Global analyzer shares it, and
+// per-package passes carry it too, so no checker ever reconstructs the
+// call graph.
+func RunStats(pkgs []*Package, analyzers []*Analyzer) (Result, Stats) {
 	var diags []Diagnostic
-	var prog *Program
+	var stats Stats
+
+	start := time.Now()
+	prog := BuildProgram(pkgs)
+	stats.BuildProgram = time.Since(start)
+
 	for _, a := range analyzers {
+		t0 := time.Now()
 		if a.Global {
-			if prog == nil {
-				prog = BuildProgram(pkgs)
-			}
 			pass := &Pass{
 				Fset:    prog.Fset,
 				Prog:    prog,
@@ -123,24 +155,26 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 				diags:   &diags,
 			}
 			a.Run(pass)
-			continue
-		}
-		for _, pkg := range pkgs {
-			pass := &Pass{
-				Fset:    pkg.Fset,
-				Files:   pkg.Files,
-				Pkg:     pkg.Types,
-				Info:    pkg.Info,
-				checker: a.Name,
-				diags:   &diags,
+		} else {
+			for _, pkg := range pkgs {
+				pass := &Pass{
+					Fset:    pkg.Fset,
+					Files:   pkg.Files,
+					Pkg:     pkg.Types,
+					Info:    pkg.Info,
+					Prog:    prog,
+					checker: a.Name,
+					diags:   &diags,
+				}
+				a.Run(pass)
 			}
-			a.Run(pass)
 		}
+		stats.Checkers = append(stats.Checkers, CheckerTiming{Name: a.Name, Duration: time.Since(t0)})
 	}
 	kept, suppressed := applyIgnores(pkgs, diags)
 	sortDiags(kept)
 	sortDiags(suppressed)
-	return Result{Diags: kept, Suppressed: suppressed}
+	return Result{Diags: kept, Suppressed: suppressed}, stats
 }
 
 func sortDiags(diags []Diagnostic) {

@@ -242,6 +242,60 @@ func TestCtxFlowInteraction(t *testing.T) {
 	}
 }
 
+// TestChanFlowInteraction pins the composition contract for the
+// message-passing checkers: one launch method seeds a chanflow
+// violation (undocumented buffer), a lifecycle violation (drain
+// goroutine over a never-closed channel), and a wgsync violation
+// (producer spawned after Add that never reaches Done), and each
+// checker reports exactly its own finding at a distinct position.
+func TestChanFlowInteraction(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "chaninteraction", "*.go"))
+	if err != nil || len(files) < 2 {
+		t.Fatalf("chaninteraction corpus: files=%v err=%v (want good.go and bad.go)", files, err)
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, corpusExports(t))
+	pkg, err := CheckFiles(fset, imp, "veridp/lint/corpus/chaninteraction", files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{ChanFlow, WgSync, Lifecycle}).Diags
+
+	lines := make(map[string][]int) // checker -> bad.go lines it fired on
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) == "good.go" {
+			t.Errorf("checker fired on the known-good file: %s", d)
+			continue
+		}
+		lines[d.Checker] = append(lines[d.Checker], d.Pos.Line)
+	}
+	cf, wg, lc := lines["chanflow"], lines["wgsync"], lines["lifecycle"]
+	if len(cf) != 1 || len(wg) != 1 || len(lc) != 1 {
+		t.Fatalf("want exactly one finding per checker, got chanflow=%v wgsync=%v lifecycle=%v (all: %v)",
+			cf, wg, lc, diags)
+	}
+	if cf[0] == wg[0] || cf[0] == lc[0] || wg[0] == lc[0] {
+		t.Errorf("findings share a line (chanflow=%d wgsync=%d lifecycle=%d); the corpus seeds them at distinct positions",
+			cf[0], wg[0], lc[0])
+	}
+	for _, d := range diags {
+		switch d.Checker {
+		case "chanflow":
+			if !strings.Contains(d.Message, "without a justification") {
+				t.Errorf("chanflow diagnostic %q is not about the undocumented buffer", d.Message)
+			}
+		case "wgsync":
+			if !strings.Contains(d.Message, "never calls") {
+				t.Errorf("wgsync diagnostic %q is not about the missing Done", d.Message)
+			}
+		case "lifecycle":
+			if !strings.Contains(d.Message, "ranges over a channel") {
+				t.Errorf("lifecycle diagnostic %q is not about the never-closed drain", d.Message)
+			}
+		}
+	}
+}
+
 // TestLoadSelf exercises the production loader end-to-end on this very
 // package: list, build export data, parse, type-check.
 func TestLoadSelf(t *testing.T) {

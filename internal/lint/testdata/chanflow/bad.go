@@ -1,0 +1,109 @@
+// Known-bad corpus for the chanflow checker: every clause fires once —
+// unannotated/malformed/stale buffered makes, a package channel with two
+// closing owners, a spawned close racing a direct one, a send after
+// close, a double close, a nil close, a close inside a loop, a
+// consumer-side close, and a select-default busy-spin.
+
+package chanflow
+
+// Two functions both close the shared broadcast channel: whichever runs
+// second panics.
+var broadcast = make(chan struct{})
+
+func ownerA() {
+	close(broadcast)
+}
+
+func ownerB() {
+	close(broadcast) // want "is also closed at"
+}
+
+// An undocumented buffer: the capacity encodes an assumption nobody
+// wrote down.
+func unannotatedBuffer() chan int {
+	ch := make(chan int, 4) // want "without a justification"
+	return ch
+}
+
+// The annotation exists but has no separator/reason, so the assumption
+// is still unwritten.
+func malformedAnnotation() chan int {
+	// chan: buffered 4 because
+	ch := make(chan int, 4) // want "malformed buffered-channel annotation"
+	return ch
+}
+
+// The annotation says 2 but the code grew to 3: stale documentation is
+// worse than none.
+func staleAnnotation() chan int {
+	// chan: buffered 2 — one slot per splice goroutine
+	ch := make(chan int, 3) // want "annotation says"
+	return ch
+}
+
+// A helper that closes its argument is spawned while the caller also
+// closes the same channel directly: close racing close.
+func closeHelper(ch chan int) {
+	close(ch)
+}
+
+func spawnedDoubleClose() {
+	ch := make(chan int)
+	go closeHelper(ch)
+	close(ch) // want "is also closed at"
+}
+
+// Straight-line send after close: this path always panics.
+func sendAfterClose() {
+	// chan: buffered 1 — corpus: the send below must not block
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "after it was closed"
+}
+
+// Straight-line double close.
+func doubleClose() {
+	done := make(chan struct{})
+	close(done)
+	close(done) // want "closed twice on this path"
+}
+
+// Declared but never made: close(nil) panics.
+func nilClose() {
+	var ch chan int
+	close(ch) // want "closing a nil channel panics"
+}
+
+// The channel outlives the loop that closes it; iteration two
+// double-closes.
+func closeInLoop(rounds int) {
+	ch := make(chan int)
+	for i := 0; i < rounds; i++ {
+		close(ch) // want "inside a loop it was not declared in"
+	}
+}
+
+// The consumer closes the channel it drains: a producer still sending
+// panics on the consumer's schedule.
+func drainAndClose(in chan int) int {
+	total := 0
+	for v := range in {
+		total += v
+	}
+	close(in) // want "only receives from"
+	return total
+}
+
+// Nothing in the loop blocks: the default case turns the select into a
+// spin loop that burns a core while polling.
+func spinPoll(stop chan struct{}) int {
+	n := 0
+	for {
+		select { // want "busy-spins a core"
+		case <-stop:
+			return n
+		default:
+			n++
+		}
+	}
+}

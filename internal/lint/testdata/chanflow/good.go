@@ -1,0 +1,121 @@
+// Known-good corpus for the chanflow checker: the conformant shapes of
+// every clause — annotated buffers, one closing owner, branch-disjoint
+// closes inside one function, deferred signal closes with later sends,
+// rebinding after close, and select loops that block (with or without a
+// default case). The checker must stay silent on all of it.
+
+package chanflow
+
+import "time"
+
+// A documented buffer, annotated on the line above.
+func annotatedAbove() chan int {
+	// chan: buffered 4 — one slot per worker so producers never block on publish
+	ch := make(chan int, 4)
+	return ch
+}
+
+// A documented buffer, annotated on the same line.
+func annotatedTrailing() chan string {
+	out := make(chan string, 1) // chan: buffered 1 — reply slot; the responder never blocks
+	return out
+}
+
+// An explicit capacity of zero is unbuffered spelled longhand; no
+// annotation owed.
+func explicitZero() chan int {
+	return make(chan int, 0)
+}
+
+// The producer owns the close: it sends, then closes, and the consumer
+// ranges until done.
+func produce(out chan int, n int) {
+	for i := 0; i < n; i++ {
+		out <- i
+	}
+	close(out)
+}
+
+func consumeAll(in chan int) int {
+	total := 0
+	for v := range in {
+		total += v
+	}
+	return total
+}
+
+// Branch-disjoint closes in one function are a single owner with two
+// exits, not a double close: each path closes exactly once.
+func branchClose(ok bool) chan struct{} {
+	done := make(chan struct{})
+	if ok {
+		close(done)
+		return done
+	}
+	close(done)
+	return done
+}
+
+// A deferred close runs at function exit, after the sends below it.
+func deferredSignal(out chan int) {
+	defer close(out)
+	out <- 1
+	out <- 2
+}
+
+// Rebinding after close makes a fresh channel: the send targets the new
+// value, not the closed one.
+func rebind() {
+	ch := make(chan int, 1) // chan: buffered 1 — corpus: sends must not block
+	close(ch)
+	ch = make(chan int, 1) // chan: buffered 1 — corpus: sends must not block
+	ch <- 1
+}
+
+// A channel declared nil and made before the close is fine.
+func lateMake() {
+	var ch chan int
+	ch = make(chan int)
+	close(ch)
+}
+
+// The default path sleeps: every spin iteration pays real time, so the
+// loop is a poller, not a busy-spin.
+func pollWithBackoff(in chan int) int {
+	total := 0
+	for {
+		select {
+		case v, ok := <-in:
+			if !ok {
+				return total
+			}
+			total += v
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// No default case: the select blocks until a peer is ready.
+func blockingSelect(a, b chan int) int {
+	for {
+		select {
+		case v := <-a:
+			return v
+		case v := <-b:
+			return v
+		}
+	}
+}
+
+// The loop body blocks on a send even though the select has a default:
+// each iteration parks on the channel, so there is no spin.
+func sendThenPoll(out chan int, probe chan struct{}) {
+	for i := 0; i < 8; i++ {
+		out <- i
+		select {
+		case <-probe:
+		default:
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Interaction corpus: one function whose launch path breaks three
+// protocols at three distinct sites — an undocumented buffered channel
+// (chanflow), a drain goroutine that can never exit because nothing
+// closes its channel (lifecycle), and a producer spawned after Add that
+// never reaches Done (wgsync). Each checker must report exactly its own
+// site.
+
+package chaninteraction
+
+import "sync"
+
+type hub struct {
+	wg  sync.WaitGroup
+	out []int
+}
+
+func (h *hub) launch() {
+	jobs := make(chan int, 8) // chanflow: undocumented buffer
+	go func() {
+		for v := range jobs { // lifecycle: nothing ever closes jobs
+			h.out = append(h.out, v)
+		}
+	}()
+	h.wg.Add(1)
+	go func() { // wgsync: never calls h.wg.Done
+		jobs <- 1
+	}()
+}

@@ -1,0 +1,34 @@
+// The conformant version of the interaction corpus: the buffer is
+// documented, the producer is joined through the WaitGroup before the
+// single owner closes the channel, and the drain goroutine exits on
+// that close and signals its own completion. All three checkers must
+// stay silent.
+
+package chaninteraction
+
+import "sync"
+
+type mux struct {
+	wg  sync.WaitGroup
+	out []int
+}
+
+func (m *mux) launch() {
+	// chan: buffered 8 — one slot per producer batch; drained before the close
+	jobs := make(chan int, 8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for v := range jobs {
+			m.out = append(m.out, v)
+		}
+	}()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		jobs <- 1
+	}()
+	m.wg.Wait()
+	close(jobs)
+	<-done
+}

@@ -1,0 +1,75 @@
+// Known-bad corpus for the tickleak checker: a ticker that never
+// reaches Stop, a Stop hidden behind a branch, a Stop skipped by an
+// early return, a discarded ticker handle, time.Tick (unstoppable by
+// construction), time.After inside an unbounded loop, and a Timer.Reset
+// with no drain guard.
+
+package tickleak
+
+import "time"
+
+// The ticker is consumed forever and never stopped: its runtime timer
+// survives this function on every path.
+func pollForever(work chan int) {
+	t := time.NewTicker(time.Second) // want "never stopped"
+	for range t.C {
+		work <- 1
+	}
+}
+
+// Stop only happens on one branch; the other returns with the timer
+// still armed.
+func stopOnFlag(flag bool) {
+	t := time.NewTimer(time.Second)
+	if flag {
+		t.Stop() // want "not reached on every return path"
+	}
+	<-t.C
+}
+
+// The early return above the Stop leaks the timer whenever ok is false.
+func stopAfterReturn(ok bool) {
+	t := time.NewTimer(time.Second)
+	if !ok {
+		return
+	}
+	<-t.C
+	t.Stop() // want "not reached on every return path"
+}
+
+// The handle is thrown away at the call: nothing can ever stop this
+// ticker.
+func discardedHandle() {
+	time.NewTicker(time.Minute) // want "result is discarded"
+}
+
+// time.Tick has no Stop at all; the ticker runs for the process
+// lifetime.
+func tickForever(work chan int) {
+	for range time.Tick(time.Second) { // want "time.Tick leaks its ticker"
+		work <- 1
+	}
+}
+
+// Each iteration of the unbounded loop allocates a timer that nothing
+// cancels until it fires.
+func timeoutLoop(in chan int) int {
+	total := 0
+	for {
+		select {
+		case v, ok := <-in:
+			if !ok {
+				return total
+			}
+			total += v
+		case <-time.After(time.Second): // want "pins a fresh timer"
+			return total
+		}
+	}
+}
+
+// Reset without draining: a pending fire from the old window delivers
+// into the new one.
+func rearmRacy(t *time.Timer, d time.Duration) {
+	t.Reset(d) // want "without draining"
+}

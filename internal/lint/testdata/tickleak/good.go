@@ -1,0 +1,91 @@
+// Known-good corpus for the tickleak checker: deferred Stops (direct
+// and through a deferred closure), a straight-line Stop that dominates
+// every return, handles that escape to a caller or a struct (ownership
+// moves with them), time.After outside loops and in bounded loops, and
+// the canonical drain-then-Reset guard.
+
+package tickleak
+
+import "time"
+
+func fire(work chan int) { work <- 1 }
+
+// The canonical shape: defer t.Stop() right after creation.
+func pollUntil(work chan int, stop chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			fire(work)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// A deferred closure that reaches Stop dominates every return too.
+func deferredClosureStop(work chan int) {
+	t := time.NewTicker(time.Second)
+	defer func() {
+		t.Stop()
+	}()
+	<-t.C
+	fire(work)
+}
+
+// A straight-line Stop before any return or branch covers the only
+// path there is.
+func oneShot(c chan int) int {
+	t := time.NewTimer(time.Second)
+	v := 0
+	select {
+	case <-t.C:
+	case v = <-c:
+	}
+	t.Stop()
+	return v
+}
+
+// The handle escapes to the caller: stopping it is the caller's
+// obligation, not this function's.
+func newHeartbeat() *time.Ticker {
+	t := time.NewTicker(time.Minute)
+	return t
+}
+
+// The handle escapes into a struct: the owner type's Close carries the
+// Stop.
+type beacon struct {
+	tick *time.Ticker
+}
+
+func (b *beacon) start() {
+	b.tick = time.NewTicker(time.Minute)
+}
+
+func (b *beacon) stop() {
+	b.tick.Stop()
+}
+
+// time.After outside any loop arms exactly one timer.
+func waitOnce(d time.Duration) {
+	<-time.After(d)
+}
+
+// A bounded loop burns at most a fixed number of timers — not the
+// per-iteration pin the unbounded form is.
+func waitThrice(d time.Duration) {
+	for i := 0; i < 3; i++ {
+		<-time.After(d)
+	}
+}
+
+// The canonical rearm guard: Stop, drain the channel if the fire
+// already landed, then Reset into the new window.
+func rearmSafe(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		<-t.C
+	}
+	t.Reset(d)
+}

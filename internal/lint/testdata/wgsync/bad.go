@@ -1,0 +1,92 @@
+// Known-bad corpus for the wgsync checker: a spawn with no covering
+// Add, an Add inside the spawned goroutine racing Wait, a spawn that
+// never reaches Done, a conditional Done that early returns can skip, a
+// named worker spawned right after Add that never calls Done, a
+// WaitGroup parameter taken by value, and a counter copied by
+// assignment.
+
+package wgsync
+
+import "sync"
+
+func chore() {}
+
+// The goroutine counts itself down, but nothing ever counted it up
+// before the spawn: Wait can return before the work even starts.
+func spawnNoAdd() {
+	var wg sync.WaitGroup
+	go func() { // want "no wg.Add precedes the spawn"
+		defer wg.Done()
+		chore()
+	}()
+	wg.Wait()
+}
+
+// The Add happens on the spawned side of the go statement: the waiter
+// can observe the counter at zero before the goroutine announces itself.
+func addInsideSpawn() {
+	var wg sync.WaitGroup
+	go func() { // want "no wg.Add precedes the spawn"
+		wg.Add(1) // want "races Wait"
+		defer wg.Done()
+		chore()
+	}()
+	wg.Wait()
+}
+
+// Added, spawned — and the body never calls Done: Wait hangs forever.
+func addNoDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "never calls wg.Done"
+		chore()
+	}()
+	wg.Wait()
+}
+
+// The Done hides behind a branch with an early return above the
+// fallback: paths that return past it undercount the join.
+func condDone(jobs []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		for _, j := range jobs {
+			if j > 0 {
+				wg.Done() // want "not reached on every path"
+				return
+			}
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// The spawn-site argument flow follows &wg into the named worker, whose
+// body never touches Done.
+func spawnNamedNoDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go forgetfulWorker(&wg) // want "never calls wg.Done"
+	wg.Wait()
+}
+
+func forgetfulWorker(wg *sync.WaitGroup) {
+	_ = wg
+	chore()
+}
+
+// A by-value WaitGroup parameter: Done decrements a private copy.
+func byValueWorker(wg sync.WaitGroup) { // want "passed by value"
+	defer wg.Done()
+	chore()
+}
+
+// Copying the counter splits it: Done on the copy never releases Wait
+// on the original.
+func copiedCounter() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	snapshot := wg // want "copies the sync.WaitGroup"
+	snapshot.Done()
+	wg.Wait()
+}

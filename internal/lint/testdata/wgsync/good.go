@@ -1,0 +1,102 @@
+// Known-good corpus for the wgsync checker: the conformant join shapes
+// — Add before every spawn with a deferred Done, the split-function
+// worker taking *sync.WaitGroup, a struct-field WaitGroup whose Add
+// lives in a different method than the spawn, and a goroutine-local
+// WaitGroup that legitimately Adds inside the goroutine that owns it.
+
+package wgsync
+
+import "sync"
+
+func task() {}
+
+// The canonical shape: Add before go, Done deferred first thing.
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			task()
+		}()
+	}
+	wg.Wait()
+}
+
+// The worker is a named function taking the counter by pointer; the
+// spawn-site argument flow pairs its deferred Done with the caller's
+// Add.
+func fanOutNamed(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go pointerWorker(&wg)
+	}
+	wg.Wait()
+}
+
+func pointerWorker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	task()
+}
+
+// A deferred closure that reaches Done counts as a deferred Done.
+func deferredClosure() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer func() {
+			task()
+			wg.Done()
+		}()
+		task()
+	}()
+	wg.Wait()
+}
+
+// A WaitGroup field: the spawn method Adds before its own go statement.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) spawn() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		task()
+	}()
+}
+
+// The Add lives in a different method than the spawn: for shared
+// (non-local) counters the ordering is credited whole-program.
+func (p *pool) reserve(n int) {
+	p.wg.Add(n)
+}
+
+func (p *pool) spawnReserved() {
+	go func() {
+		defer p.wg.Done()
+		task()
+	}()
+}
+
+func (p *pool) drain() {
+	p.wg.Wait()
+}
+
+// A goroutine-local WaitGroup is its own join domain: Adds inside the
+// goroutine that declared it do not race anyone's Wait.
+func nestedJoin() {
+	outer := make(chan struct{})
+	go func() {
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() {
+			defer inner.Done()
+			task()
+		}()
+		inner.Wait()
+		close(outer)
+	}()
+	<-outer
+}

@@ -1,0 +1,397 @@
+// Checker tickleak: timer and ticker lifetimes. A time.Ticker that
+// never reaches Stop pins a runtime timer (and its goroutine wakeups)
+// for the life of the process; `time.After` inside an unbounded loop
+// allocates a fresh timer per iteration that nothing can cancel — the
+// hazard internal/netutil documents in prose; and `Timer.Reset` on a
+// timer whose channel was never drained can deliver a stale fire into
+// the new window. Clauses:
+//
+//  1. Every `time.NewTicker`/`time.NewTimer` whose result stays local
+//     must reach Stop on all return paths — `defer t.Stop()` is the
+//     only shape that dominates every return, so a plain Stop behind a
+//     branch or after an earlier return is reported. A result that
+//     escapes (returned, stored in a struct, handed to another
+//     function) transfers ownership and is exempt here; a result that
+//     is discarded outright can never be stopped and is reported at
+//     the call.
+//  2. `time.Tick` is reported unconditionally: its ticker is
+//     unreachable and unstoppable by construction.
+//  3. `time.After` inside an unbounded loop (`for { ... }` or a range
+//     over a channel) pins one timer per iteration; hoist a NewTimer
+//     and Reset it.
+//  4. `(*time.Timer).Reset` without a lexically preceding receive from
+//     the timer's channel in the same function — the canonical guard is
+//     `if !t.Stop() { <-t.C }` — risks the old fire leaking into the
+//     new window.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TickLeak enforces timer/ticker lifetime hygiene.
+var TickLeak = &Analyzer{
+	Name:   "tickleak",
+	Doc:    "timer lifetimes: NewTicker/NewTimer reach Stop on all returns (defer preferred), no time.Tick, no time.After in unbounded loops, no Timer.Reset without draining",
+	Global: true,
+	Run:    runTickLeak,
+}
+
+func runTickLeak(pass *Pass) {
+	for _, node := range pass.Prog.nodes {
+		checkTimerLifetimes(pass, node)
+		checkAfterInLoops(pass, node)
+		checkTimerResets(pass, node)
+	}
+}
+
+// timeFuncCall matches a call to a package-level function of the time
+// package and returns its name.
+func timeFuncCall(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return "", false
+	}
+	if _, isPkg := pkg.Info.Uses[baseIdent(sel.X)].(*types.PkgName); !isPkg {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id
+	}
+	return &ast.Ident{}
+}
+
+// ---- clauses 1–2: creation sites and Stop dominance --------------------
+
+// timerUse classifies every mention of a created timer/ticker local.
+type timerUse struct {
+	creator  string // "time.NewTicker" or "time.NewTimer"
+	obj      *types.Var
+	pos      token.Pos // creation site
+	escaped  bool      // handed beyond Stop/Reset/C — ownership moved
+	deferred bool      // a defer reaches Stop
+	plainTop token.Pos // first non-deferred Stop at creation depth before any return
+	plainBad token.Pos // first non-deferred Stop that is conditional or post-return
+}
+
+func checkTimerLifetimes(pass *Pass, node *FuncNode) {
+	pkg := node.Pkg
+	timers := make(map[*types.Var]*timerUse)
+
+	// Pass 1: creation sites. `t := time.NewTicker(d)` binds an owned
+	// local; a bare `time.NewTicker(d)` statement discards the only
+	// handle that could ever stop it.
+	walkOwnBody(node, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				if name, ok := timeFuncCall(pkg, call); ok && (name == "NewTicker" || name == "NewTimer") {
+					pass.Reportf(call.Pos(),
+						"time.%s result is discarded — the %s can never be stopped; bind it and defer Stop",
+						name, tickerNoun(name))
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			name, ok := timeFuncCall(pkg, call)
+			if !ok || (name != "NewTicker" && name != "NewTimer") {
+				return
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return // stored through a selector/index: ownership moves with it
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(),
+					"time.%s result is discarded — the %s can never be stopped; bind it and defer Stop",
+					name, tickerNoun(name))
+				return
+			}
+			obj, ok := objectOf(pkg, id)
+			if !ok {
+				return
+			}
+			timers[obj] = &timerUse{creator: "time." + name, obj: obj, pos: call.Pos()}
+		}
+	})
+	if len(timers) == 0 {
+		return
+	}
+
+	// Pass 2: uses. Stop/Reset/C through the local are lifecycle
+	// operations; anything else — returning it, storing it, passing it
+	// on — transfers ownership out of this function's proof obligation.
+	sawReturn := false
+	var walk func(n ast.Node, depth int, inDefer bool)
+	walk = func(n ast.Node, depth int, inDefer bool) {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure using the timer keeps it alive beyond this
+			// function's returns; treat as escape unless it only stops it.
+			for obj, tu := range timers {
+				if usesObjBeyondLifecycle(pkg, n.Body, obj) {
+					tu.escaped = true
+				}
+			}
+			return
+		case *ast.ReturnStmt:
+			sawReturn = true
+		case *ast.DeferStmt:
+			if obj, ok := timerMethodRecv(pkg, n.Call, "Stop", timers); ok {
+				timers[obj].deferred = true
+				return
+			}
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(c ast.Node) bool {
+					if call, ok := c.(*ast.CallExpr); ok {
+						if obj, ok := timerMethodRecv(pkg, call, "Stop", timers); ok {
+							timers[obj].deferred = true
+						}
+					}
+					return true
+				})
+				return
+			}
+			walkChildren(n, func(c ast.Node) { walk(c, depth, true) })
+			return
+		case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			walkChildren(n, func(c ast.Node) { walk(c, depth+1, inDefer) })
+			return
+		case *ast.CallExpr:
+			if obj, ok := timerMethodRecv(pkg, n, "Stop", timers); ok {
+				tu := timers[obj]
+				if inDefer {
+					tu.deferred = true
+				} else if depth == 0 && !sawReturn {
+					if !tu.plainTop.IsValid() {
+						tu.plainTop = n.Pos()
+					}
+				} else if !tu.plainBad.IsValid() {
+					tu.plainBad = n.Pos()
+				}
+				walkChildren(n, func(c ast.Node) { walk(c, depth, inDefer) })
+				return
+			}
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				if obj, ok := objectOf(pkg, id); ok && timers[obj] != nil {
+					switch n.Sel.Name {
+					case "Stop", "Reset", "C":
+					default:
+						timers[obj].escaped = true
+					}
+					return
+				}
+			}
+		case *ast.Ident:
+			if obj, ok := objectOf(pkg, n); ok && timers[obj] != nil && obj.Pos() != n.Pos() {
+				timers[obj].escaped = true
+			}
+		}
+		walkChildren(n, func(c ast.Node) { walk(c, depth, inDefer) })
+	}
+	walkChildren(node.body(), func(c ast.Node) { walk(c, 0, false) })
+
+	for _, tu := range timers {
+		if tu.escaped || tu.deferred {
+			continue
+		}
+		name := tu.obj.Name()
+		switch {
+		case !tu.plainTop.IsValid() && !tu.plainBad.IsValid():
+			pass.Reportf(tu.pos,
+				"%s %s is never stopped — the %s outlives this function; defer %s.Stop()",
+				tu.creator, name, tickerNoun(tu.creator), name)
+		case !tu.plainTop.IsValid():
+			pass.Reportf(tu.plainBad,
+				"%s.Stop is not reached on every return path — a branch or earlier return leaks the %s; defer %s.Stop() instead",
+				name, tickerNoun(tu.creator), name)
+		}
+	}
+}
+
+// objectOf resolves an identifier to its variable object via Uses or Defs.
+func objectOf(pkg *Package, id *ast.Ident) (*types.Var, bool) {
+	if obj, ok := pkg.Info.Uses[id].(*types.Var); ok {
+		return obj, true
+	}
+	if obj, ok := pkg.Info.Defs[id].(*types.Var); ok {
+		return obj, true
+	}
+	return nil, false
+}
+
+// timerMethodRecv matches `<local>.<method>(...)` for a tracked timer.
+func timerMethodRecv(pkg *Package, call *ast.CallExpr, method string, timers map[*types.Var]*timerUse) (*types.Var, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil, false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj, ok := objectOf(pkg, id)
+	if !ok || timers[obj] == nil {
+		return nil, false
+	}
+	return obj, true
+}
+
+// usesObjBeyondLifecycle reports whether body mentions obj other than as
+// the receiver of Stop/Reset or the .C field — any such use hands the
+// timer beyond this function's proof obligation.
+func usesObjBeyondLifecycle(pkg *Package, body *ast.BlockStmt, obj *types.Var) bool {
+	beyond := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if beyond {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if o, ok := objectOf(pkg, id); ok && o == obj {
+					switch sel.Sel.Name {
+					case "Stop", "Reset", "C":
+						return false // lifecycle use; don't re-visit the ident
+					}
+					beyond = true
+					return false
+				}
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if o, ok := objectOf(pkg, id); ok && o == obj {
+				beyond = true
+			}
+		}
+		return true
+	})
+	return beyond
+}
+
+// tickerNoun names the resource for diagnostics; creator may be bare
+// ("NewTicker") or qualified ("time.NewTicker").
+func tickerNoun(creator string) string {
+	if creator == "NewTicker" || creator == "time.NewTicker" {
+		return "ticker"
+	}
+	return "timer"
+}
+
+// ---- clause 2: time.Tick ----------------------------------------------
+
+// ---- clause 3: time.After in unbounded loops ---------------------------
+
+func checkAfterInLoops(pass *Pass, node *FuncNode) {
+	pkg := node.Pkg
+	var loops []ast.Node // enclosing unbounded-loop stack
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				loops = append(loops, n)
+				walkChildren(n, walk)
+				loops = loops[:len(loops)-1]
+				return
+			}
+		case *ast.RangeStmt:
+			if isChanType(typeOf(pkg, n.X)) {
+				loops = append(loops, n)
+				walkChildren(n, walk)
+				loops = loops[:len(loops)-1]
+				return
+			}
+		case *ast.CallExpr:
+			name, ok := timeFuncCall(pkg, n)
+			if !ok {
+				break
+			}
+			switch name {
+			case "Tick":
+				pass.Reportf(n.Pos(),
+					"time.Tick leaks its ticker — no handle ever reaches Stop; use time.NewTicker with defer Stop")
+			case "After":
+				if len(loops) > 0 {
+					pass.Reportf(n.Pos(),
+						"time.After inside an unbounded loop pins a fresh timer every iteration — hoist a time.NewTimer and Reset it per pass")
+				}
+			}
+		}
+		walkChildren(n, walk)
+	}
+	walkChildren(node.body(), walk)
+}
+
+// ---- clause 4: Timer.Reset without drain -------------------------------
+
+func checkTimerResets(pass *Pass, node *FuncNode) {
+	pkg := node.Pkg
+	type resetSite struct {
+		pos   token.Pos
+		chain string
+	}
+	var resets []resetSite
+	drained := make(map[string]token.Pos) // chain -> earliest <-chain.C receive
+
+	recordRecv := func(e ast.Expr) {
+		ue, ok := ast.Unparen(e).(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW {
+			return
+		}
+		sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "C" {
+			return
+		}
+		if _, ok := isNamed(typeOf(pkg, sel.X), "time", "Timer"); !ok {
+			return
+		}
+		chain := types.ExprString(sel.X)
+		if prev, ok := drained[chain]; !ok || ue.Pos() < prev {
+			drained[chain] = ue.Pos()
+		}
+	}
+
+	walkOwnBody(node, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			recordRecv(n)
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Reset" {
+				return
+			}
+			if _, ok := isNamed(typeOf(pkg, sel.X), "time", "Timer"); !ok {
+				return
+			}
+			resets = append(resets, resetSite{n.Pos(), types.ExprString(sel.X)})
+		}
+	})
+	for _, r := range resets {
+		if pos, ok := drained[r.chain]; ok && pos < r.pos {
+			continue
+		}
+		pass.Reportf(r.pos,
+			"%s.Reset without draining the timer's channel — a pending fire delivers into the new window; guard with `if !%s.Stop() { <-%s.C }`",
+			r.chain, r.chain, r.chain)
+	}
+}

@@ -194,10 +194,14 @@ func (p *Proxy) serveSwitch(ctx context.Context, raw net.Conn) {
 		}
 	}()
 
-	done := make(chan struct{}, 2)
+	// Join both splice legs before the deferred teardown runs: each leg
+	// unblocks the other's parked Recv by closing the conn it writes to,
+	// so Wait cannot hang on a half-closed session.
+	var splice sync.WaitGroup
 	// Controller → switch: intercept FlowMods.
+	splice.Add(1)
 	go func() {
-		defer func() { done <- struct{}{} }()
+		defer splice.Done()
 		for {
 			m, err := upConn.Recv()
 			if err != nil {
@@ -220,8 +224,9 @@ func (p *Proxy) serveSwitch(ctx context.Context, raw net.Conn) {
 		}
 	}()
 	// Switch → controller: intercept BarrierReplies.
+	splice.Add(1)
 	go func() {
-		defer func() { done <- struct{}{} }()
+		defer splice.Done()
 		for {
 			m, err := swConn.Recv()
 			if err != nil {
@@ -239,8 +244,7 @@ func (p *Proxy) serveSwitch(ctx context.Context, raw net.Conn) {
 			}
 		}
 	}()
-	<-done
-	<-done
+	splice.Wait()
 }
 
 func (p *Proxy) reportSpliceEnd(sw topo.SwitchID, side string, err error) {

@@ -267,6 +267,7 @@ func (e *engine) startCollector(ctx context.Context) error {
 		return err
 	}
 	cctx, cancel := context.WithCancel(ctx)
+	// chan: buffered 1 — Run's exit status parks here even if stopCollector times out and never receives
 	done := make(chan error, 1)
 	go func() { done <- col.Run(cctx) }()
 	e.collector, e.sender, e.colCancel, e.colDone = col, snd, cancel, done
@@ -626,6 +627,7 @@ func (e *engine) stressMaintenance(i int, mutate func()) *Failure {
 		go func() {
 			defer wg.Done()
 			for {
+				//lint:ignore chanflow the shadow verifiers spin deliberately: yielding would shrink the race window the oracle exists to probe
 				select {
 				case _, open := <-stop:
 					if !open { // stop is only ever closed
