@@ -16,6 +16,7 @@
 package veridp
 
 import (
+	"bytes"
 	"math/rand"
 	"sync"
 	"testing"
@@ -136,13 +137,105 @@ func BenchmarkVerifyParallel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
+		snap := h.Current() // pin once per goroutine: the batch-path discipline
 		i := 0
 		for pb.Next() {
-			if v := h.Verify(reports[i%len(reports)]); !v.OK {
+			if v := snap.Verify(reports[i%len(reports)]); !v.OK {
 				b.Errorf("verification failed: %v", v.Reason)
 				return
 			}
 			i++
+		}
+	})
+}
+
+// BenchmarkVerifyZipf measures the verdict cache on a Zipf-skewed report
+// stream (the elephant-flow regime §6.4's scaling argument lives in):
+// witness reports replayed in a seeded Zipf order, verified in batches
+// against one pinned snapshot, cached vs uncached. Both arms run the
+// identical stream through the identical batch API; the differential
+// check at the end asserts equal verdicts, so the reports/sec gap is pure
+// cache effect.
+func BenchmarkVerifyZipf(b *testing.B) {
+	e := benchEnvs(b)["stanford"]
+	pt := e.Table()
+	var reports []packet.Report
+	for _, w := range traffic.Witnesses(pt) {
+		res, err := e.Fabric.Inject(w.Inport, w.Header)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Reports) > 0 {
+			reports = append(reports, *res.Reports[len(res.Reports)-1])
+		}
+	}
+	if len(reports) == 0 {
+		b.Fatal("no reports")
+	}
+	const batchSize = 32
+	idx := traffic.ZipfIndices(len(reports), 1<<16, 1.2, 42)
+	stream := make([]packet.Report, len(idx))
+	for i, j := range idx {
+		stream[i] = reports[j]
+	}
+	snap := e.Handle().Current()
+
+	run := func(b *testing.B, cache *core.VerdictCache) {
+		var out [batchSize]core.Verdict
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			off := (i * batchSize) % (len(stream) - batchSize)
+			snap.VerifyBatch(cache, stream[off:off+batchSize], out[:])
+		}
+		b.ReportMetric(float64(b.N)*batchSize/time.Since(start).Seconds(), "reports/sec")
+		b.StopTimer()
+		// Equal correctness: the arm's last batch must match uncached
+		// verdicts exactly.
+		off := ((b.N - 1) * batchSize) % (len(stream) - batchSize)
+		for k := 0; k < batchSize; k++ {
+			if want := snap.Verify(&stream[off+k]); out[k] != want {
+				b.Fatalf("verdict %d diverged: %+v != %+v", k, out[k], want)
+			}
+		}
+	}
+	b.Run("cached", func(b *testing.B) {
+		cache := core.NewVerdictCache(0)
+		run(b, cache)
+		if h, m := cache.Hits(), cache.Misses(); h+m > 0 {
+			b.ReportMetric(float64(h)/float64(h+m)*100, "hit%")
+		}
+	})
+	b.Run("uncached", func(b *testing.B) { run(b, nil) })
+}
+
+// BenchmarkColdVsWarmStart measures what the -table-cache flag buys at
+// Stanford scale: cold is a full path-table construction from the logical
+// rules; warm is deserializing the saved snapshot (core.Load), which
+// skips traversal, BDD recomputation, and tag folding.
+func BenchmarkColdVsWarmStart(b *testing.B) {
+	e := benchEnvs(b)["stanford"]
+	var blob bytes.Buffer
+	if err := e.Table().Save(&blob); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if e.Build() == nil {
+				b.Fatal("nil table")
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pt, err := core.Load(bytes.NewReader(blob.Bytes()), e.Net)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if pt == nil {
+				b.Fatal("nil table")
+			}
 		}
 	})
 }

@@ -9,6 +9,9 @@
 // everything upstream unchanged. SIGINT/SIGTERM trigger a graceful
 // shutdown: the proxy stops accepting, spliced sessions and in-flight
 // report datagrams drain, and the process exits within -shutdown-timeout.
+// With -table-cache the built path table is saved on that graceful exit
+// and reloaded on the next start (warm start), falling back to a cold
+// rebuild if the file is missing or its topology/parameters mismatch.
 // See examples/liveproxy for a complete in-process deployment wired over
 // real sockets.
 package main
@@ -29,6 +32,7 @@ import (
 
 	"veridp"
 	"veridp/internal/bloom"
+	"veridp/internal/core"
 	"veridp/internal/flowtable"
 	"veridp/internal/openflow"
 	"veridp/internal/packet"
@@ -44,6 +48,8 @@ var (
 	metricsAddr = flag.String("metrics", "", "HTTP address for Prometheus metrics (empty disables)")
 	mbits       = flag.Int("mbits", 16, "Bloom tag size in bits")
 	workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "report collector worker goroutines")
+	batch       = flag.Int("batch", 0, "max report datagrams a worker verifies per wakeup (0 = default)")
+	tableCache  = flag.String("table-cache", "", "path-table snapshot file: loaded on start (warm start), saved on graceful shutdown")
 	shutdownTO  = flag.Duration("shutdown-timeout", 5*time.Second, "grace period for draining on SIGINT/SIGTERM")
 )
 
@@ -86,13 +92,7 @@ func run(ctx context.Context, logger *log.Logger) error {
 		return err
 	}
 
-	// The server's own logical view starts empty and fills from the
-	// intercepted FlowMods.
-	logical := make(map[topo.SwitchID]*flowtable.SwitchConfig, net_.NumSwitches())
-	for _, sw := range net_.Switches() {
-		logical[sw.ID] = flowtable.NewSwitchConfig(sw.Ports())
-	}
-	mon := veridp.NewMonitor(net_, logical, veridp.MonitorConfig{
+	cfg := veridp.MonitorConfig{
 		Params: params,
 		OnViolation: func(v veridp.Violation) {
 			sw := "unlocalized"
@@ -104,10 +104,40 @@ func run(ctx context.Context, logger *log.Logger) error {
 		OnVerified: func(r *veridp.Report) {
 			fmt.Printf("ok        %v\n", r)
 		},
-	})
+	}
 
-	// Tag-report collector.
-	collector, err := report.NewCollector(*reportAddr, mon.HandleReport, logger, report.WithWorkers(*workers))
+	// Warm start: reload the path table a previous run saved, falling back
+	// to a cold (empty, fills from intercepted FlowMods) table when the
+	// cache is absent, stale, or built under different parameters.
+	var mon *veridp.Monitor
+	var logical map[topo.SwitchID]*flowtable.SwitchConfig
+	if *tableCache != "" {
+		pt, err := loadTable(*tableCache, net_, params)
+		if err != nil {
+			logger.Printf("table cache %s unusable (%v); building cold", *tableCache, err)
+		} else {
+			// The loaded table carries the logical per-switch configs it
+			// was saved with; interception keeps editing those.
+			logical = pt.Configs
+			mon = veridp.NewMonitorFromTable(net_, pt, cfg)
+			logger.Printf("warm start: loaded path table from %s", *tableCache)
+		}
+	}
+	if mon == nil {
+		logical = make(map[topo.SwitchID]*flowtable.SwitchConfig, net_.NumSwitches())
+		for _, sw := range net_.Switches() {
+			logical[sw.ID] = flowtable.NewSwitchConfig(sw.Ports())
+		}
+		mon = veridp.NewMonitor(net_, logical, cfg)
+	}
+
+	// Tag-report collector: each worker gets its own batch handler (and
+	// with it a private verdict cache).
+	copts := []report.Option{report.WithWorkers(*workers)}
+	if *batch > 0 {
+		copts = append(copts, report.WithBatch(*batch))
+	}
+	collector, err := report.NewCollector(*reportAddr, mon.BatchHandler, logger, copts...)
 	if err != nil {
 		return err
 	}
@@ -161,5 +191,54 @@ func run(ctx context.Context, logger *log.Logger) error {
 	case <-time.After(*shutdownTO):
 		logger.Printf("collector did not drain within %v", *shutdownTO)
 	}
+
+	// Graceful shutdown persists the table so the next start is warm.
+	if *tableCache != "" && ctx.Err() != nil {
+		if serr := saveTable(*tableCache, mon); serr != nil {
+			logger.Printf("table cache %s not saved: %v", *tableCache, serr)
+		} else {
+			logger.Printf("saved path table to %s", *tableCache)
+		}
+	}
 	return err
+}
+
+// loadTable deserializes a path-table snapshot and validates it against
+// this run's topology and tag parameters. Any mismatch is an error: the
+// caller falls back to a cold build rather than verifying against state
+// from a different deployment.
+func loadTable(path string, net_ *topo.Network, params bloom.Params) (*core.PathTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	pt, err := core.Load(f, net_)
+	if err != nil {
+		return nil, err
+	}
+	if pt.Params != params {
+		return nil, fmt.Errorf("snapshot tag params %+v differ from -mbits %d", pt.Params, params.MBits)
+	}
+	return pt, nil
+}
+
+// saveTable writes the monitor's table to a temp file and renames it into
+// place, so a crash mid-write can never leave a truncated cache behind.
+func saveTable(path string, mon *veridp.Monitor) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := mon.PathTable().Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

@@ -138,6 +138,7 @@ func run(ctx context.Context) error {
 	}
 
 	mesh := traffic.PingMesh(e.Net)
+	bv := sim.NewBatchVerifier(e.Handle().Current())
 	var delivered, dropped, looped, verified, violated, localized, correct int
 	blamed := map[string]int{}
 	for _, ping := range mesh {
@@ -160,8 +161,9 @@ func run(ctx context.Context) error {
 		case "looped":
 			looped++
 		}
-		for _, rep := range res.Reports {
-			v := pt.Verify(rep)
+		verdicts := bv.Verdicts(res.Reports)
+		for i, rep := range res.Reports {
+			v := verdicts[i]
 			if v.OK {
 				verified++
 				continue

@@ -74,7 +74,7 @@ func run(ctx context.Context) error {
 		},
 	})
 
-	collector, err := report.NewCollector("127.0.0.1:0", mon.HandleReport, logger)
+	collector, err := report.NewCollector("127.0.0.1:0", mon.BatchHandler, logger)
 	if err != nil {
 		return err
 	}

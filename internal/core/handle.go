@@ -49,7 +49,25 @@ type Snapshot struct {
 	view    bdd.View                  // frozen after publish
 	space   *header.Space             // frozen after publish
 	params  bloom.Params              // frozen after publish
+	epoch   uint64                    // frozen after publish; process-unique publication number
 }
+
+// snapEpoch numbers every snapshot publication in the process. It is
+// global, not per-Handle, so epochs stay unique across Handle rebuilds
+// (a restarted monitor's first snapshot must never collide with a cached
+// entry stamped by its predecessor). Epochs start at 1: a VerdictCache
+// uses meta==0 as its empty-slot marker.
+var snapEpoch atomic.Uint64
+
+func nextEpoch() uint64 { return snapEpoch.Add(1) }
+
+// Epoch returns the snapshot's publication number. Epochs increase
+// monotonically with every publication in the process and are never
+// reused, which is what lets a VerdictCache invalidate itself for free:
+// an entry stamped with any other epoch is dead on probe.
+//
+//lint:allocfree
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
 // lookup resolves a pair against overlay-then-base.
 //
@@ -128,18 +146,6 @@ func NewHandle(pt *PathTable) *Handle {
 //
 //lint:allocfree
 func (h *Handle) Current() *Snapshot { return h.cur.Load() }
-
-// Verify checks one tag report against the current snapshot, lock-free.
-//
-//lint:allocfree
-func (h *Handle) Verify(r *packet.Report) Verdict { return h.cur.Load().Verify(r) }
-
-// Lookup returns the current snapshot's live paths for a pair, lock-free.
-//
-//lint:allocfree
-func (h *Handle) Lookup(in, out topo.PortKey) []*PathEntry {
-	return h.cur.Load().Lookup(in, out)
-}
 
 // ApplyDelta applies a §4.4 incremental update and publishes the result as
 // one atomic snapshot swap: concurrent verifications see either the table
@@ -247,7 +253,7 @@ func freezeAll(pt *PathTable) *Snapshot {
 			base[k] = fs
 		}
 	}
-	return &Snapshot{base: base, view: pt.Space.T.View(), space: pt.Space, params: pt.Params}
+	return &Snapshot{base: base, view: pt.Space.T.View(), space: pt.Space, params: pt.Params, epoch: nextEpoch()}
 }
 
 // publishTouched publishes a snapshot that re-freezes only the touched
@@ -273,5 +279,5 @@ func (h *Handle) publishTouched(pt *PathTable, touched map[tableKey]bool) {
 			ov[k] = nil // pair emptied by this update
 		}
 	}
-	h.cur.Store(&Snapshot{base: prev.base, overlay: ov, view: pt.Space.T.View(), space: pt.Space, params: pt.Params})
+	h.cur.Store(&Snapshot{base: prev.base, overlay: ov, view: pt.Space.T.View(), space: pt.Space, params: pt.Params, epoch: nextEpoch()})
 }

@@ -113,10 +113,88 @@ func TestHandleCompactSwapStorm(t *testing.T) {
 
 	// After the dust settles the snapshot still matches the writer table's
 	// final state: the host route is installed, so rB wins.
-	if v := h.Verify(rB); !v.OK {
+	if v := h.Current().Verify(rB); !v.OK {
 		t.Errorf("post-storm snapshot lost the final route: %v", v.Reason)
 	}
-	if v := h.Verify(rA); v.OK {
+	if v := h.Current().Verify(rA); v.OK {
 		t.Error("post-storm snapshot still verifies the stale route")
 	}
+}
+
+// TestVerdictCacheConcurrentPublish hammers per-goroutine verdict caches
+// against concurrent snapshot publications. Each reader pins a snapshot,
+// verifies through its own cache, and differentially checks the cached
+// verdict against the uncached one on the same pinned snapshot — while
+// the main goroutine churns ApplyDelta/Compact/Swap, bumping the epoch as
+// fast as it can. Under -race this also proves the epoch stamp's
+// happens-before edge: a cache is single-writer, but the snapshots (and
+// epochs) it keys on are published across goroutines.
+func TestVerdictCacheConcurrentPublish(t *testing.T) {
+	d := newDiamondEnv(t)
+	h := NewHandle(d.pt)
+
+	tagA := d.tagFor(t, h.Current())
+	host32 := flowtable.Prefix{IP: 0x0a000201, Len: 32}
+	id, delta, err := d.tree.Insert(host32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ApplyDelta(d.s1, delta); err != nil {
+		t.Fatal(err)
+	}
+	tagB := d.tagFor(t, h.Current())
+	rA := packet.Report{Inport: d.pair[0], Outport: d.pair[1], Header: d.hdr, Tag: tagA}
+	rB := packet.Report{Inport: d.pair[0], Outport: d.pair[1], Header: d.hdr, Tag: tagB}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cache := NewVerdictCache(8) // small: exercises eviction too
+			in := [2]packet.Report{rA, rB}
+			var out [2]Verdict
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := h.Current()
+				snap.VerifyBatch(cache, in[:], out[:])
+				for i := range in {
+					if want := snap.Verify(&in[i]); out[i] != want {
+						t.Errorf("cached verdict %+v != uncached %+v under epoch %d", out[i], want, snap.Epoch())
+						return
+					}
+				}
+				if out[0].OK == out[1].OK {
+					t.Errorf("torn snapshot through cache: OK=%v/%v", out[0].OK, out[1].OK)
+					return
+				}
+			}
+		}()
+	}
+
+	const flips = 100
+	for i := 0; i < flips; i++ {
+		delta, err := d.tree.Remove(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.ApplyDelta(d.s1, delta); err != nil {
+			t.Fatal(err)
+		}
+		if id, delta, err = d.tree.Insert(host32, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.ApplyDelta(d.s1, delta); err != nil {
+			t.Fatal(err)
+		}
+		h.Compact()
+		h.Swap(func(old *PathTable) *PathTable { return old })
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -210,20 +210,114 @@ func TestHandleMatchesTable(t *testing.T) {
 }
 
 // TestVerifyAllocationFree pins the hot path's zero-allocation guarantee:
-// both PathTable.Verify and the snapshot twin must not allocate per report.
+// PathTable.Verify, the snapshot twin, and every verdict-cache path —
+// probe hit, probe miss + fill, and the batch API — must not allocate per
+// report.
 func TestVerifyAllocationFree(t *testing.T) {
 	d := newDiamondEnv(t)
 	h := NewHandle(d.pt)
 	r := &packet.Report{Inport: d.pair[0], Outport: d.pair[1], Header: d.hdr, Tag: d.tagFor(t, h.Current())}
 
-	if v := h.Verify(r); !v.OK {
+	snap := h.Current()
+	if v := snap.Verify(r); !v.OK {
 		t.Fatalf("witness report failed: %v", v.Reason)
 	}
-	if avg := testing.AllocsPerRun(200, func() { h.Verify(r) }); avg != 0 {
-		t.Errorf("Handle.Verify allocates %.1f/op, want 0", avg)
+	if avg := testing.AllocsPerRun(200, func() { snap.Verify(r) }); avg != 0 {
+		t.Errorf("Snapshot.Verify allocates %.1f/op, want 0", avg)
 	}
 	pt := h.Table()
 	if avg := testing.AllocsPerRun(200, func() { pt.Verify(r) }); avg != 0 {
 		t.Errorf("PathTable.Verify allocates %.1f/op, want 0", avg)
+	}
+
+	// Cache probe hit: prime once, then every run is a pure probe.
+	cache := NewVerdictCache(0)
+	in := [1]packet.Report{*r}
+	var out [1]Verdict
+	snap.VerifyBatch(cache, in[:], out[:])
+	if avg := testing.AllocsPerRun(200, func() { snap.VerifyBatch(cache, in[:], out[:]) }); avg != 0 {
+		t.Errorf("VerifyBatch (probe hit) allocates %.1f/op, want 0", avg)
+	}
+	if cache.Hits() == 0 {
+		t.Fatal("hit path never exercised")
+	}
+
+	// Cache probe miss + fill: vary the source port so every run misses
+	// and stores.
+	miss := *r
+	if avg := testing.AllocsPerRun(200, func() {
+		miss.Header.SrcPort++
+		in[0] = miss
+		snap.VerifyBatch(cache, in[:], out[:])
+	}); avg != 0 {
+		t.Errorf("VerifyBatch (probe miss + fill) allocates %.1f/op, want 0", avg)
+	}
+
+	// Uncached batch arm (nil cache).
+	batch := [4]packet.Report{*r, *r, *r, *r}
+	var vs [4]Verdict
+	if avg := testing.AllocsPerRun(200, func() { snap.VerifyBatch(nil, batch[:], vs[:]) }); avg != 0 {
+		t.Errorf("VerifyBatch (uncached) allocates %.1f/op, want 0", avg)
+	}
+}
+
+// TestVerdictCacheCoherence is the in-package differential check: cached
+// verdicts must be identical (OK, Reason, Matched pointer) to uncached
+// ones, and a publication must kill every cached entry — the epoch
+// invariant that lets publication skip any cache flush.
+func TestVerdictCacheCoherence(t *testing.T) {
+	d := newDiamondEnv(t)
+	h := NewHandle(d.pt)
+	snap := h.Current()
+	cache := NewVerdictCache(0)
+
+	good := packet.Report{Inport: d.pair[0], Outport: d.pair[1], Header: d.hdr, Tag: d.tagFor(t, h.Current())}
+	bad := good
+	bad.Tag ^= 0x2a
+	nopair := good
+	nopair.Outport.Port = 9
+
+	reports := []packet.Report{good, bad, nopair, good, bad}
+	out := make([]Verdict, len(reports))
+	for round := 0; round < 3; round++ { // round 1+ serves from cache
+		snap.VerifyBatch(cache, reports, out)
+		for i := range reports {
+			if want := snap.Verify(&reports[i]); out[i] != want {
+				t.Fatalf("round %d report %d: cached verdict %+v != uncached %+v", round, i, out[i], want)
+			}
+		}
+	}
+	if cache.Hits() == 0 || cache.Misses() == 0 {
+		t.Fatalf("expected both hits and misses, got hits=%d misses=%d", cache.Hits(), cache.Misses())
+	}
+
+	// Publish: the host /32 re-routes the flow, so the good report's tag
+	// goes stale. The old cache entries must be unreachable under the new
+	// snapshot's epoch — a stale hit would keep verifying the old tag.
+	host32 := flowtable.Prefix{IP: 0x0a000201, Len: 32}
+	_, delta, err := d.tree.Insert(host32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ApplyDelta(d.s1, delta); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := h.Current()
+	if snap2.Epoch() <= snap.Epoch() {
+		t.Fatalf("epoch did not advance: %d -> %d", snap.Epoch(), snap2.Epoch())
+	}
+	snap2.VerifyBatch(cache, reports, out)
+	for i := range reports {
+		if want := snap2.Verify(&reports[i]); out[i] != want {
+			t.Fatalf("post-publish report %d: cached verdict %+v != uncached %+v", i, out[i], want)
+		}
+	}
+	if v := out[0]; v.OK {
+		t.Fatal("old-route report still verifies after the delta — stale cache entry served")
+	}
+	// The old snapshot keeps answering with its own epoch: entries stored
+	// under it are still valid there.
+	if v := snap.Verify(&good); !v.OK {
+		t.Fatalf("pinned old snapshot changed its verdict: %+v", v)
 	}
 }

@@ -17,9 +17,21 @@ import (
 )
 
 func BenchmarkCollectorThroughput(b *testing.B) {
+	benchCollector(b, WithWorkers(runtime.GOMAXPROCS(0)), WithBatch(1))
+}
+
+// BenchmarkCollectorThroughputBatched is the same pipeline with the
+// per-wakeup drain enabled: the difference against the plain benchmark is
+// what batching buys on a loaded socket.
+func BenchmarkCollectorThroughputBatched(b *testing.B) {
+	benchCollector(b, WithWorkers(runtime.GOMAXPROCS(0)), WithBatch(defaultBatch))
+}
+
+func benchCollector(b *testing.B, opts ...Option) {
 	var handled atomic.Uint64
-	c, err := NewCollector("127.0.0.1:0", func(*packet.Report) { handled.Add(1) },
-		nil, WithWorkers(runtime.GOMAXPROCS(0)))
+	c, err := NewCollector("127.0.0.1:0", func() func([]packet.Report) {
+		return func(batch []packet.Report) { handled.Add(uint64(len(batch))) }
+	}, nil, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,90 @@
+// Non-blocking batch drain, Linux fast path. Go's netpoller offers no
+// non-blocking read on a *net.UDPConn — an armed deadline is checked
+// before the receive is even attempted, and a zero deadline parks — so
+// draining an already-queued burst without a park per datagram needs a raw
+// recvfrom with MSG_DONTWAIT. The RawConn keeps the fd refcounted against
+// a concurrent Close; the closure is built once per worker so the hot path
+// allocates nothing.
+
+//go:build linux
+
+package report
+
+import (
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// drainState holds one worker's raw-receive plumbing. buf/n/errno/rsa are
+// the closure's in/out parameters, reused across calls: creating the
+// closure per call would heap-allocate its captures.
+type drainState struct {
+	raw   syscall.RawConn
+	buf   []byte // set before each Control call, cleared after
+	n     int
+	errno syscall.Errno
+	rsa   syscall.RawSockaddrAny
+	fn    func(fd uintptr)
+}
+
+// init captures the worker conn's RawConn and builds the receive closure.
+func (d *drainState) init(conn *net.UDPConn) error {
+	raw, err := conn.SyscallConn()
+	if err != nil {
+		return err
+	}
+	d.raw = raw
+	d.fn = func(fd uintptr) {
+		rsaLen := uint32(unsafe.Sizeof(d.rsa))
+		r1, _, e := syscall.Syscall6(syscall.SYS_RECVFROM,
+			fd,
+			uintptr(unsafe.Pointer(&d.buf[0])),
+			uintptr(len(d.buf)),
+			syscall.MSG_DONTWAIT,
+			uintptr(unsafe.Pointer(&d.rsa)),
+			uintptr(unsafe.Pointer(&rsaLen)))
+		d.n, d.errno = int(r1), e
+	}
+	return nil
+}
+
+// drainOne attempts one non-blocking receive into bp. ok=false means the
+// queue is empty (EAGAIN), the socket is closing, or the sender address
+// was unparseable — in every case the caller just ends the batch and
+// returns to its blocking read, which reports any real error.
+//
+//lint:allocfree
+func (w *worker) drainOne(bp *[2048]byte) (int, netip.AddrPort, bool) {
+	d := &w.drain
+	d.buf = bp[:]
+	err := d.raw.Control(d.fn)
+	d.buf = nil
+	if err != nil || d.errno != 0 || d.n < 0 {
+		return 0, netip.AddrPort{}, false
+	}
+	from, ok := sockaddrToAddrPort(&d.rsa)
+	if !ok {
+		return 0, netip.AddrPort{}, false
+	}
+	return d.n, from, true
+}
+
+// sockaddrToAddrPort converts a raw kernel sockaddr to netip form without
+// allocating (the net package's Sockaddr path builds interface values).
+//
+//lint:allocfree
+func sockaddrToAddrPort(rsa *syscall.RawSockaddrAny) (netip.AddrPort, bool) {
+	switch rsa.Addr.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port)) // sin_port is big-endian in memory
+		return netip.AddrPortFrom(netip.AddrFrom4(sa.Addr), uint16(p[0])<<8|uint16(p[1])), true
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(rsa))
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		return netip.AddrPortFrom(netip.AddrFrom16(sa.Addr), uint16(p[0])<<8|uint16(p[1])), true
+	}
+	return netip.AddrPort{}, false
+}

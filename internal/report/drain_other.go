@@ -1,0 +1,26 @@
+// Non-blocking drain fallback: platforms without the raw MSG_DONTWAIT
+// path report an always-empty queue, so every batch degenerates to the
+// one datagram the blocking read delivered. Correctness is unchanged —
+// batching is purely an amortization.
+
+//go:build !linux
+
+package report
+
+import (
+	"net"
+	"net/netip"
+)
+
+// drainState has no platform plumbing in the fallback.
+type drainState struct{}
+
+// init is a no-op in the fallback.
+func (d *drainState) init(conn *net.UDPConn) error { return nil }
+
+// drainOne always reports an empty queue.
+//
+//lint:allocfree
+func (w *worker) drainOne(bp *[2048]byte) (int, netip.AddrPort, bool) {
+	return 0, netip.AddrPort{}, false
+}

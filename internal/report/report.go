@@ -6,12 +6,18 @@
 // real sockets in its tests.
 //
 // The collector is a parallel pipeline: a configurable pool of workers
-// (WithWorkers) each loops read→decode→verify on the shared UDP socket —
-// the kernel load-balances datagrams across concurrent readers — so
-// verification throughput scales with cores, the multi-threaded server
-// §6.4 of the paper anticipates. The happy path allocates nothing per
-// datagram: receive buffers come from a sync.Pool and each worker decodes
-// into a single reused packet.Report.
+// (WithWorkers) each loops read→decode→verify — so verification throughput
+// scales with cores, the multi-threaded server §6.4 of the paper
+// anticipates. Each worker owns a dup'd handle onto the shared socket
+// (one file description, many descriptors): the kernel delivers each
+// datagram to exactly one reader, and the private descriptor is what lets
+// a worker follow its blocking read with non-blocking drains (WithBatch)
+// without contending on another worker's parked read. A worker wakes on
+// one datagram, drains up to batch-1 more that are already queued, and
+// hands the whole batch to its verifier in one call — amortizing the
+// snapshot pin, cache probes, and counter updates (see core.VerifyBatch).
+// The happy path allocates nothing per datagram: receive buffers come from
+// a sync.Pool and each worker decodes into a preallocated batch slice.
 package report
 
 import (
@@ -104,7 +110,7 @@ func (l *logLimiter) allow(now time.Time) bool {
 
 // shard holds one worker's counters, so the datagram hot path touches no
 // state shared between workers. The pad keeps adjacent shards out of one
-// cache line (the counters are written on every datagram).
+// cache line (the counters are written on every wakeup).
 type shard struct {
 	received  atomic.Uint64
 	malformed atomic.Uint64
@@ -113,14 +119,28 @@ type shard struct {
 	_         [24]byte
 }
 
+// worker is one goroutine's private state: its dup'd socket handle, its
+// counter shard, and the reusable batch buffers. Nothing here is shared
+// between workers; Close is the only cross-goroutine access (conn.Close
+// is safe concurrently with reads).
+type worker struct {
+	conn  *net.UDPConn // dup'd descriptor onto the shared socket
+	shard *shard
+	batch []packet.Report  // decoded reports, reused every wakeup
+	froms []netip.AddrPort // per-report sender, parallel to batch
+	drain drainState       // platform non-blocking receive state
+}
+
 // Collector receives, parses, and dispatches report datagrams with a pool
 // of worker goroutines sharing one UDP socket.
 type Collector struct {
-	conn    *net.UDPConn
-	handler func(*packet.Report)
-	logger  *log.Logger
+	conn       *net.UDPConn // the bound socket (worker 0's handle)
+	newHandler func() func([]packet.Report)
+	logger     *log.Logger
 
-	shards []shard // one per worker; fixed after NewCollector
+	workers []worker // fixed after NewCollector
+	shards  []shard  // one per worker; fixed after NewCollector
+	batch   int
 
 	logLim     logLimiter
 	suppressed atomic.Uint64 // log lines dropped by the limiter
@@ -133,6 +153,7 @@ type Option func(*collectorOptions)
 
 type collectorOptions struct {
 	workers int
+	batch   int
 }
 
 // WithWorkers sets the number of read/decode/verify worker goroutines the
@@ -142,19 +163,39 @@ func WithWorkers(n int) Option {
 	return func(o *collectorOptions) { o.workers = n }
 }
 
-// NewCollector listens on addr (e.g. ":48879") and dispatches each parsed
-// report to handler. logger may be nil.
+// defaultBatch is the per-wakeup datagram budget when WithBatch is not
+// given: large enough to amortize the per-wakeup costs under load, small
+// enough that one worker cannot hoard a burst another core could verify.
+const defaultBatch = 32
+
+// WithBatch sets the maximum datagrams a worker drains and verifies per
+// wakeup (default 32). The first read blocks; the rest are non-blocking,
+// so an idle collector still verifies each report the moment it arrives —
+// batching only kicks in when datagrams are queued faster than workers
+// wake. Values below 1 are clamped to 1 (strict one-datagram-per-wakeup).
+func WithBatch(k int) Option {
+	return func(o *collectorOptions) { o.batch = k }
+}
+
+// NewCollector listens on addr (e.g. ":48879") and dispatches batches of
+// parsed reports to a handler. logger may be nil.
 //
-// handler is called concurrently from every worker and must be safe for
-// parallel use. The *packet.Report it receives is reused by the worker:
-// it is valid only until handler returns — copy the struct to retain it.
-func NewCollector(addr string, handler func(*packet.Report), logger *log.Logger, opts ...Option) (*Collector, error) {
-	o := collectorOptions{workers: runtime.GOMAXPROCS(0)}
+// newHandler is a factory: it is called once per worker, and each worker
+// calls only its own handler — so the handler closure may own mutable
+// single-goroutine state (a verdict cache, a scratch buffer) without any
+// locking. The []packet.Report batch a handler receives is reused by the
+// worker: it is valid only until the handler returns — copy any report to
+// retain it.
+func NewCollector(addr string, newHandler func() func([]packet.Report), logger *log.Logger, opts ...Option) (*Collector, error) {
+	o := collectorOptions{workers: runtime.GOMAXPROCS(0), batch: defaultBatch}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	if o.workers < 1 {
 		o.workers = 1
+	}
+	if o.batch < 1 {
+		o.batch = 1
 	}
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -164,35 +205,84 @@ func NewCollector(addr string, handler func(*packet.Report), logger *log.Logger,
 	if err != nil {
 		return nil, fmt.Errorf("report: listen %q: %w", addr, err)
 	}
-	c := &Collector{conn: conn, handler: handler, logger: logger, shards: make([]shard, o.workers)}
-	for i := range c.shards {
+	c := &Collector{
+		conn:       conn,
+		newHandler: newHandler,
+		logger:     logger,
+		workers:    make([]worker, o.workers),
+		shards:     make([]shard, o.workers),
+		batch:      o.batch,
+	}
+	for i := range c.workers {
+		w := &c.workers[i]
 		c.shards[i].bySource = make(map[netip.AddrPort]uint64)
+		w.shard = &c.shards[i]
+		w.batch = make([]packet.Report, o.batch)
+		w.froms = make([]netip.AddrPort, o.batch)
+		if i == 0 {
+			w.conn = conn
+		} else {
+			w.conn, err = dupUDPConn(conn)
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("report: dup socket: %w", err)
+			}
+		}
+		if err := w.drain.init(w.conn); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("report: drain setup: %w", err)
+		}
 	}
 	return c, nil
+}
+
+// dupUDPConn duplicates the listening socket: a new file descriptor onto
+// the same file description, so every handle shares the bound port and the
+// receive queue, but each worker parks its blocking read on its own
+// descriptor.
+func dupUDPConn(c *net.UDPConn) (*net.UDPConn, error) {
+	f, err := c.File()
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // FilePacketConn dups again; the intermediate can go
+	pc, err := net.FilePacketConn(f)
+	if err != nil {
+		return nil, err
+	}
+	uc, ok := pc.(*net.UDPConn)
+	if !ok {
+		pc.Close()
+		return nil, fmt.Errorf("dup is %T, not *net.UDPConn", pc)
+	}
+	return uc, nil
 }
 
 // Addr returns the bound address (useful with port 0).
 func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
 
 // Workers returns the size of the worker pool.
-func (c *Collector) Workers() int { return len(c.shards) }
+func (c *Collector) Workers() int { return len(c.workers) }
+
+// Batch returns the per-wakeup datagram budget.
+func (c *Collector) Batch() int { return c.batch }
 
 // Run starts the worker pool and blocks until ctx is cancelled or Close
 // is called, draining every worker before returning; it always returns a
 // non-nil error: ctx.Err() after cancellation, net.ErrClosed after Close.
 func (c *Collector) Run(ctx context.Context) error {
-	// Cancellation is delivered by closing the shared socket, which fails
-	// every worker's parked read.
+	// Cancellation is delivered by closing every worker's socket handle,
+	// which fails the parked reads.
 	stop := context.AfterFunc(ctx, c.Close)
 	defer stop()
 
-	errs := make([]error, len(c.shards))
+	errs := make([]error, len(c.workers))
 	var wg sync.WaitGroup
-	for i := range c.shards {
+	for i := range c.workers {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[i] = c.worker(ctx, &c.shards[i])
+			errs[i] = c.worker(ctx, &c.workers[i])
 		}()
 	}
 	wg.Wait()
@@ -207,14 +297,15 @@ func (c *Collector) Run(ctx context.Context) error {
 	return errors.New("report: collector stopped") // unreachable: workers only exit on error
 }
 
-// worker is one read→decode→dispatch loop. Concurrent ReadFromUDP calls on
-// the shared socket are safe — the kernel delivers each datagram to exactly
-// one reader — which is what spreads ingest across the pool. The loop is
-// allocation-free per datagram: buffers are pooled and the Report is reused.
-// Transient read errors back off with a cap (reset on the next datagram) so
-// a wedged socket cannot hot-spin a worker.
-func (c *Collector) worker(ctx context.Context, s *shard) error {
-	r := new(packet.Report) // one Report per worker, reused for every datagram
+// worker is one read→drain→decode→dispatch loop. The blocking read parks
+// on the worker's private descriptor; once it delivers, fillBatch pulls
+// whatever else is already queued (up to the batch budget) without
+// blocking, and the whole batch goes to the worker's handler in one call.
+// The loop is allocation-free per datagram: buffers are pooled and the
+// batch slice is reused. Transient read errors back off with a cap (reset
+// on the next datagram) so a wedged socket cannot hot-spin a worker.
+func (c *Collector) worker(ctx context.Context, w *worker) error {
+	handle := c.newHandler() // one handler per worker: single-writer state
 	var bo netutil.Backoff
 	for {
 		bp := bufPool.Get().(*[2048]byte)
@@ -223,7 +314,7 @@ func (c *Collector) worker(ctx context.Context, s *shard) error {
 		// of them during any quiet interval, and cancellation already
 		// reaches the parked read through ctx closing the socket.
 		//lint:ignore deadline the shared UDP socket is governed by ctx→Close; a per-read deadline would expire healthy idle ingest
-		n, from, err := c.conn.ReadFromUDPAddrPort(bp[:])
+		n, from, err := w.conn.ReadFromUDPAddrPort(bp[:])
 		if err != nil {
 			bufPool.Put(bp)
 			if errors.Is(err, net.ErrClosed) {
@@ -236,29 +327,63 @@ func (c *Collector) worker(ctx context.Context, s *shard) error {
 			continue
 		}
 		bo.Reset()
-		c.dispatch(s, bp, n, from, r)
+		k := c.fillBatch(w, bp, n, from)
+		bufPool.Put(bp)
+		if k > 0 {
+			handle(w.batch[:k])
+		}
 	}
 }
 
-// dispatch decodes one datagram into the worker's reused Report, counts
-// it, and hands it to the verifier callback. This is the per-datagram
-// tail of the hot loop; the malformed path (rate-limited logging) is the
-// cold branch the zero-alloc contract exempts.
+// fillBatch decodes the just-received datagram and then drains already-
+// queued ones non-blockingly until the batch is full or the queue is
+// empty, decoding each into the worker's reused batch slice. One receive
+// buffer serves the whole batch (each datagram is decoded before the next
+// receive overwrites it), and the counters and per-source map are updated
+// once per batch, not once per datagram. Returns the number of well-formed
+// reports in w.batch.
 //
 //lint:allocfree
-func (c *Collector) dispatch(s *shard, bp *[2048]byte, n int, from netip.AddrPort, r *packet.Report) {
-	err := packet.UnmarshalReportInto(bp[:n], r)
-	bufPool.Put(bp)
-	if err != nil {
+func (c *Collector) fillBatch(w *worker, bp *[2048]byte, n int, from netip.AddrPort) int {
+	k := 0
+	for {
+		if c.decodeOne(w.shard, bp[:n], &w.batch[k]) {
+			w.froms[k] = from
+			k++
+			if k == len(w.batch) {
+				break
+			}
+		}
+		var ok bool
+		n, from, ok = w.drainOne(bp)
+		if !ok {
+			break
+		}
+	}
+	if k > 0 {
+		s := w.shard
+		s.received.Add(uint64(k))
+		s.mu.Lock()
+		for i := 0; i < k; i++ {
+			s.bySource[w.froms[i]]++
+		}
+		s.mu.Unlock()
+	}
+	return k
+}
+
+// decodeOne decodes one datagram into the batch slot, counting and
+// rate-limited-logging the malformed ones — the cold branch the zero-alloc
+// contract exempts.
+//
+//lint:allocfree
+func (c *Collector) decodeOne(s *shard, b []byte, r *packet.Report) bool {
+	if err := packet.UnmarshalReportInto(b, r); err != nil {
 		s.malformed.Add(1)
 		c.logf("report: malformed datagram from the wire: %v", err)
-		return
+		return false
 	}
-	s.received.Add(1)
-	s.mu.Lock()
-	s.bySource[from]++
-	s.mu.Unlock()
-	c.handler(r)
+	return true
 }
 
 // logf emits through the token bucket, reporting how many lines the
@@ -314,7 +439,15 @@ func (c *Collector) SourceCounts() map[string]uint64 {
 	return out
 }
 
-// Close stops Run.
+// Close stops Run by closing every worker's socket handle (they share one
+// file description but each parks its read on its own descriptor).
 func (c *Collector) Close() {
-	c.closeOnce.Do(func() { c.conn.Close() })
+	c.closeOnce.Do(func() {
+		for i := range c.workers {
+			if w := &c.workers[i]; w.conn != nil && w.conn != c.conn {
+				w.conn.Close()
+			}
+		}
+		c.conn.Close()
+	})
 }

@@ -2,6 +2,7 @@ package report
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -25,10 +26,22 @@ func sampleReport(i int) *packet.Report {
 	}
 }
 
+// perReport adapts a per-report callback to the collector's batch-handler
+// factory, for tests that only care about individual reports.
+func perReport(handler func(*packet.Report)) func() func([]packet.Report) {
+	return func() func([]packet.Report) {
+		return func(batch []packet.Report) {
+			for i := range batch {
+				handler(&batch[i])
+			}
+		}
+	}
+}
+
 // collectorPair spins up a collector and a sender dialed at it.
 func collectorPair(t *testing.T, handler func(*packet.Report)) (*Collector, *Sender) {
 	t.Helper()
-	c, err := NewCollector("127.0.0.1:0", handler, nil)
+	c, err := NewCollector("127.0.0.1:0", perReport(handler), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,8 +120,68 @@ func TestCollectorIgnoresGarbage(t *testing.T) {
 	}
 }
 
+// TestCollectorBatchesQueuedDatagrams queues a burst in the socket buffer
+// before the (single) worker starts, so the first wakeup must drain a
+// multi-datagram batch on platforms with the non-blocking drain path.
+func TestCollectorBatchesQueuedDatagrams(t *testing.T) {
+	const n = 16
+	var mu sync.Mutex
+	var batches []int
+	total := 0
+	c, err := NewCollector("127.0.0.1:0", func() func([]packet.Report) {
+		return func(batch []packet.Report) {
+			mu.Lock()
+			batches = append(batches, len(batch))
+			total += len(batch)
+			mu.Unlock()
+		}
+	}, nil, WithWorkers(1), WithBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s, err := NewSender(c.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < n; i++ {
+		s.HandleReport(sampleReport(i))
+	}
+	time.Sleep(50 * time.Millisecond) // let the datagrams land in the queue
+	go c.Run(context.Background())
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		mu.Lock()
+		got := total
+		mu.Unlock()
+		if got == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d reports", got, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	max := 0
+	for _, b := range batches {
+		if b > 8 {
+			t.Fatalf("batch of %d exceeds WithBatch(8)", b)
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if runtime.GOOS == "linux" && max < 2 {
+		t.Errorf("every batch had 1 report; non-blocking drain never coalesced (batch sizes %v)", batches)
+	}
+}
+
 func TestCollectorCloseStopsRun(t *testing.T) {
-	c, err := NewCollector("127.0.0.1:0", func(*packet.Report) {}, nil)
+	c, err := NewCollector("127.0.0.1:0", perReport(func(*packet.Report) {}), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -70,7 +70,7 @@ func TestCollectorConcurrentStress(t *testing.T) {
 	mon, good := figure5Monitor(t)
 	verified0, violated0 := mon.Stats()
 
-	collector, err := report.NewCollector("127.0.0.1:0", mon.HandleReport, nil)
+	collector, err := report.NewCollector("127.0.0.1:0", mon.BatchHandler, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

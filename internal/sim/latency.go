@@ -74,6 +74,7 @@ func DetectionLatency(cfg LatencyConfig) (*LatencyResult, error) {
 			return nil, err
 		}
 		pt := (&core.Builder{Net: n, Space: header.NewSpace(), Params: bloom.Params{MBits: 32}, Configs: c.Logical()}).Build()
+		bv := NewBatchVerifier(core.NewHandle(pt).Current())
 
 		flow := header.Header{
 			SrcIP: n.Host("h1-0").IP, DstIP: n.Host("h3-0").IP,
@@ -111,8 +112,8 @@ func DetectionLatency(cfg LatencyConfig) (*LatencyResult, error) {
 				continue
 			}
 			detected := false
-			for _, rep := range r.Reports {
-				if !pt.Verify(rep).OK {
+			for _, v := range bv.Verdicts(r.Reports) {
+				if !v.OK {
 					detected = true
 				}
 			}

@@ -60,6 +60,7 @@ func Localization(e *Env, rounds int, seed int64) (LocalizationResult, error) {
 // LocalizationRNG is Localization drawing from a caller-owned stream.
 func LocalizationRNG(e *Env, rounds int, rng *rand.Rand) (LocalizationResult, error) {
 	pt := e.Table()
+	bv := NewBatchVerifier(e.Handle().Current())
 	mesh := traffic.PingMesh(e.Net)
 	var result LocalizationResult
 
@@ -83,9 +84,9 @@ func LocalizationRNG(e *Env, rounds int, rng *rand.Rand) (LocalizationResult, er
 			if err != nil {
 				return result, err
 			}
-			for _, rep := range res.Reports {
-				v := pt.Verify(rep)
-				if v.OK {
+			verdicts := bv.Verdicts(res.Reports)
+			for i, rep := range res.Reports {
+				if verdicts[i].OK {
 					continue
 				}
 				result.FailedVerifications++

@@ -132,8 +132,32 @@ type engine struct {
 	deviantN    int
 	lastReport  *packet.Report
 
+	// Verdict-cache plumbing: probeCache serves the synchronous probe
+	// phase (the engine goroutine is its single writer); the scratch
+	// single-report batch keeps VerifyBatch on the deterministic path.
+	// coSamples is the cache-coherence oracle's replay ring: cached
+	// verdicts pinned with the snapshot that produced them, re-checked
+	// against uncached Verify after every step.
+	probeCache *core.VerdictCache
+	cacheIn    [1]packet.Report
+	cacheOut   [1]core.Verdict
+	coSamples  [coSampleRing]cacheSample
+	coNext     int
+
 	res   *Result
 	trace bytes.Buffer
+}
+
+// coSampleRing bounds how many cached verdicts the coherence oracle
+// retains; old entries (and the snapshots they pin) roll off.
+const coSampleRing = 32
+
+// cacheSample is one cached verdict with everything needed to recompute
+// it: the exact snapshot it was served under and a copy of the report.
+type cacheSample struct {
+	snap *core.Snapshot
+	rep  packet.Report
+	v    core.Verdict
 }
 
 // Run executes the campaign. The returned error is harness trouble
@@ -222,6 +246,7 @@ func (e *engine) setup(ctx context.Context) error {
 	e.faulty = &faults.FaultyInstaller{Inner: &dataplane.FabricInstaller{Fabric: env.Fabric}}
 	env.Ctrl.SetInstaller(e.faulty)
 	e.setHandle(core.NewHandle(env.Build()))
+	e.probeCache = core.NewVerdictCache(0)
 	e.mesh = traffic.PingMesh(env.Net)
 	if len(e.mesh) == 0 {
 		return fmt.Errorf("storm: topology %q has no probe pairs", e.c.Topo)
@@ -243,21 +268,33 @@ func (e *engine) setHandle(h *core.Handle) {
 	e.mu.Unlock()
 }
 
-// handleAsync is the collector-side report handler. It exercises the
-// lock-free verify path concurrently with the engine's maintenance ops;
-// its verdicts feed counters only — the deterministic trace comes from
-// the synchronous probe phase.
-func (e *engine) handleAsync(r *packet.Report) {
-	e.handled.Add(1)
-	if !e.currentHandle().Verify(r).OK {
-		e.asyncViolated.Add(1)
+// batchHandler builds one collector worker's report handler. It exercises
+// the batched, cached verify path concurrently with the engine's
+// maintenance ops — each worker owns a private verdict cache, exactly the
+// production Monitor arrangement; its verdicts feed counters only — the
+// deterministic trace comes from the synchronous probe phase.
+func (e *engine) batchHandler() func([]packet.Report) {
+	cache := core.NewVerdictCache(0)
+	var verdicts []core.Verdict
+	return func(batch []packet.Report) {
+		e.handled.Add(uint64(len(batch)))
+		if cap(verdicts) < len(batch) {
+			verdicts = make([]core.Verdict, len(batch))
+		}
+		out := verdicts[:len(batch)]
+		e.currentHandle().Current().VerifyBatch(cache, batch, out)
+		for i := range out {
+			if !out[i].OK {
+				e.asyncViolated.Add(1)
+			}
+		}
 	}
 }
 
 // startCollector boots one collector incarnation and points the relay's
 // UDP sender at it.
 func (e *engine) startCollector(ctx context.Context) error {
-	col, err := report.NewCollector("127.0.0.1:0", e.handleAsync, nil, report.WithWorkers(2))
+	col, err := report.NewCollector("127.0.0.1:0", e.batchHandler, nil, report.WithWorkers(2))
 	if err != nil {
 		return err
 	}
@@ -310,7 +347,31 @@ func (e *engine) step(ctx context.Context, i int, st Step) (*Failure, error) {
 	if f, err := e.probePhase(i, rng); f != nil || err != nil {
 		return f, err
 	}
+	if f := e.cacheCoherenceOracle(i); f != nil {
+		return f, nil
+	}
 	return e.drain(i), nil
+}
+
+// cacheCoherenceOracle replays the sample ring: every verdict the cache
+// ever served must be recomputable, identically, by the uncached Verify
+// against the exact snapshot that served it — no matter how many
+// Compact/Swap/ApplyDelta publications (epoch bumps) have happened since.
+// Snapshots are immutable, so any divergence means the cache associated a
+// verdict with the wrong key or the wrong epoch.
+func (e *engine) cacheCoherenceOracle(i int) *Failure {
+	for idx := range e.coSamples {
+		s := &e.coSamples[idx]
+		if s.snap == nil {
+			continue
+		}
+		if got := s.snap.Verify(&s.rep); got != s.v {
+			return failf(i, OracleCacheCoherent,
+				"replayed report %v: cached verdict ok=%t reason=%v, uncached recompute ok=%t reason=%v (epoch %d)",
+				&s.rep, s.v.OK, s.v.Reason, got.OK, got.Reason, s.snap.Epoch())
+		}
+	}
+	return nil
 }
 
 // apply dispatches one action.
@@ -626,6 +687,12 @@ func (e *engine) stressMaintenance(i int, mutate func()) *Failure {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each shadow verifier owns a cache, so the hammering also
+			// covers the cached probe path against concurrent publication.
+			cache := core.NewVerdictCache(6)
+			var in [1]packet.Report
+			var out [1]core.Verdict
+			in[0] = *rep
 			for {
 				//lint:ignore chanflow the shadow verifiers spin deliberately: yielding would shrink the race window the oracle exists to probe
 				select {
@@ -634,8 +701,8 @@ func (e *engine) stressMaintenance(i int, mutate func()) *Failure {
 						return
 					}
 				default:
-					got := snap.Verify(rep)
-					if got.OK != want.OK || got.Reason != want.Reason {
+					snap.VerifyBatch(cache, in[:], out[:])
+					if got := out[0]; got.OK != want.OK || got.Reason != want.Reason {
 						torn.Store(true)
 						return
 					}
@@ -682,12 +749,20 @@ func (e *engine) probePhase(i int, rng *rand.Rand) (*Failure, error) {
 		for ri, rep := range res.Reports {
 			e.res.Reports++
 			e.lastReport = rep
-			v := snap.Verify(rep)
+			// Cached arm: the engine goroutine is probeCache's single
+			// writer, so the probe phase runs the same batch API the
+			// collector workers use.
+			e.cacheIn[0] = *rep
+			snap.VerifyBatch(e.probeCache, e.cacheIn[:], e.cacheOut[:])
+			v := e.cacheOut[0]
 			again := snap.Verify(rep)
 			if v.OK != again.OK || v.Reason != again.Reason || v.Matched != again.Matched {
-				return failf(i, OracleOneVerdict,
-					"report %v verified twice against one snapshot with different verdicts", rep), nil
+				return failf(i, OracleCacheCoherent,
+					"report %v: cached verdict ok=%t reason=%v diverges from uncached ok=%t reason=%v",
+					rep, v.OK, v.Reason, again.OK, again.Reason), nil
 			}
+			e.coSamples[e.coNext] = cacheSample{snap: snap, rep: *rep, v: v}
+			e.coNext = (e.coNext + 1) % coSampleRing
 			fmt.Fprintf(&e.trace, "step=%04d %s>%s %s r%d ok=%t reason=%v\n",
 				i, ping.SrcHost, ping.DstHost, res.Outcome, ri, v.OK, v.Reason)
 			if v.OK {

@@ -1,9 +1,10 @@
 // The invariant oracles. After every campaign step the engine drives a
-// probe phase and checks five properties; violating any one halts the
+// probe phase and checks six properties; violating any one halts the
 // campaign with a Failure the minimizer can shrink. Each oracle pins down
 // one subsystem (the DESIGN.md table spells the mapping out):
 //
 //	one-verdict        snapshot publication (core.Handle / core.Snapshot)
+//	cache-coherent     the verdict cache (core.VerdictCache epoch invalidation)
 //	no-false-positive  path-table construction + Algorithm 3 verification
 //	localization       Algorithm 4 PathInfer / FaultySwitch
 //	counter-fold       report pipeline (Sender → Collector worker pool)
@@ -19,6 +20,12 @@ const (
 	// snapshot yields the same verdict — including while Compact/Swap
 	// maintenance runs concurrently.
 	OracleOneVerdict = "one-verdict"
+	// OracleCacheCoherent: a verdict served by the equivalence-class cache
+	// is identical (OK, Reason, and Matched entry) to what the uncached
+	// Snapshot.Verify computes — checked differentially on every probe
+	// report and by replaying a sample ring of cached verdicts after each
+	// step, across Compact/Swap/ApplyDelta epoch changes.
+	OracleCacheCoherent = "cache-coherent"
 	// OracleNoFalsePositive: a probe whose actual path equals its
 	// intended path never produces a failing report; on a fault-free
 	// prefix that is every probe.

@@ -70,6 +70,21 @@ func PingMesh(n *topo.Network) []PingPair {
 	return out
 }
 
+// ZipfIndices draws k indices in [0, n) from a Zipf distribution with
+// exponent s (> 1; larger is more skewed), deterministically seeded — the
+// elephant-flow access pattern the verdict-cache benchmarks replay: a
+// handful of popular flows dominate, exactly as sampled SDN traffic does.
+// The returned sequence is reproducible for a given (n, k, s, seed).
+func ZipfIndices(n, k int, s float64, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	out := make([]int, k)
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out
+}
+
 // RandomFlows draws k random host-to-host TCP flows with distinct ephemeral
 // source ports, for sampling and throughput experiments.
 func RandomFlows(n *topo.Network, k int, rng *rand.Rand) []header.Header {

@@ -117,3 +117,34 @@ func TestRandomFlows(t *testing.T) {
 		t.Fatalf("flows from a single-host network: %v", got)
 	}
 }
+
+func TestZipfIndices(t *testing.T) {
+	const n, k = 100, 5000
+	a := ZipfIndices(n, k, 1.2, 7)
+	b := ZipfIndices(n, k, 1.2, 7)
+	if len(a) != k {
+		t.Fatalf("len %d, want %d", len(a), k)
+	}
+	for i := range a {
+		if a[i] < 0 || a[i] >= n {
+			t.Fatalf("index %d out of [0,%d)", a[i], n)
+		}
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	if c := ZipfIndices(n, k, 1.2, 8); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] && c[3] == a[3] {
+		t.Error("different seeds produced an identical prefix")
+	}
+	// Skew: the head of the distribution must dominate the draw — that is
+	// the whole premise of the verdict cache's hit rate.
+	head := 0
+	for _, v := range a {
+		if v < 10 {
+			head++
+		}
+	}
+	if head < k/2 {
+		t.Errorf("head (indices <10) drew %d/%d, want a Zipf-skewed majority", head, k)
+	}
+}

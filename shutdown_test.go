@@ -63,7 +63,7 @@ func TestShutdownLeaksNothing(t *testing.T) {
 		OnViolation: func(veridp.Violation) { handled.Add(1) },
 	})
 
-	collector, err := report.NewCollector("127.0.0.1:0", mon.HandleReport, nil, report.WithWorkers(4))
+	collector, err := report.NewCollector("127.0.0.1:0", mon.BatchHandler, nil, report.WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -178,8 +178,9 @@ type Monitor struct {
 	violated atomic.Uint64
 
 	mu      sync.Mutex
-	reasons map[string]uint64   // guarded by mu
-	blames  map[SwitchID]uint64 // guarded by mu
+	reasons map[string]uint64    // guarded by mu
+	blames  map[SwitchID]uint64  // guarded by mu
+	caches  []*core.VerdictCache // guarded by mu; one per BatchHandler worker
 }
 
 // NewMonitor builds a monitor over the network and the control plane's
@@ -194,9 +195,20 @@ func NewMonitor(net *Network, logical map[SwitchID]*flowtable.SwitchConfig, cfg 
 		Params:  cfg.Params,
 		Configs: logical,
 	}
+	return NewMonitorFromTable(net, b.Build(), cfg)
+}
+
+// NewMonitorFromTable builds a monitor around an already-constructed path
+// table — the warm-start entry point: veridp-server deserializes a table
+// saved by a previous run (core.PathTable.Load) and mounts a monitor on it
+// without paying reconstruction. The monitor owns pt from here on.
+func NewMonitorFromTable(net *Network, pt *core.PathTable, cfg MonitorConfig) *Monitor {
+	if cfg.Params == (TagParams{}) {
+		cfg.Params = DefaultTagParams
+	}
 	return &Monitor{
 		cfg:     cfg,
-		handle:  core.NewHandle(b.Build()),
+		handle:  core.NewHandle(pt),
 		net:     net,
 		reasons: make(map[string]uint64),
 		blames:  make(map[SwitchID]uint64),
@@ -212,7 +224,37 @@ func NewMonitor(net *Network, logical map[SwitchID]*flowtable.SwitchConfig, cfg 
 // lock released, so they may call back into the Monitor (e.g. OnViolation
 // invoking Repair for self-healing).
 func (m *Monitor) HandleReport(r *Report) {
-	v := m.handle.Verify(r)
+	m.tally(r, m.handle.Current().Verify(r))
+}
+
+// BatchHandler returns a batch-verification closure for one collector
+// worker — the factory report.NewCollector expects. Each closure owns a
+// private verdict cache (single-writer: no atomics on the probe path) and
+// a reusable verdict buffer; the whole batch is verified against one
+// pinned snapshot via core.Snapshot.VerifyBatch, then tallied through the
+// same callback plumbing as HandleReport. Reports passed to callbacks are
+// only valid until the handler returns, exactly as the collector's batch
+// contract states.
+func (m *Monitor) BatchHandler() func([]Report) {
+	cache := core.NewVerdictCache(0)
+	m.mu.Lock()
+	m.caches = append(m.caches, cache)
+	m.mu.Unlock()
+	var verdicts []core.Verdict
+	return func(batch []Report) {
+		if cap(verdicts) < len(batch) {
+			verdicts = make([]core.Verdict, len(batch))
+		}
+		out := verdicts[:len(batch)]
+		m.handle.Current().VerifyBatch(cache, batch, out)
+		for i := range batch {
+			m.tally(&batch[i], out[i])
+		}
+	}
+}
+
+// tally routes one verdict into the counters, localization, and callbacks.
+func (m *Monitor) tally(r *Report, v core.Verdict) {
 	if v.OK {
 		m.verified.Add(1)
 		if cb := m.cfg.OnVerified; cb != nil {
@@ -251,13 +293,26 @@ func (m *Monitor) HandleReport(r *Report) {
 // Verify checks one report without firing callbacks, returning whether it
 // passed and the failure reason otherwise. Lock-free.
 func (m *Monitor) Verify(r *Report) (bool, string) {
-	v := m.handle.Verify(r)
+	v := m.handle.Current().Verify(r)
 	return v.OK, v.Reason.String()
 }
 
 // Stats returns the running verified/violated counters.
 func (m *Monitor) Stats() (verified, violated uint64) {
 	return m.verified.Load(), m.violated.Load()
+}
+
+// CacheStats folds the verdict-cache hit/miss counters across every
+// BatchHandler worker. Zero/zero when no batch handler was ever built.
+func (m *Monitor) CacheStats() (hits, misses uint64) {
+	m.mu.Lock()
+	caches := m.caches
+	m.mu.Unlock()
+	for _, c := range caches {
+		hits += c.Hits()
+		misses += c.Misses()
+	}
+	return hits, misses
 }
 
 // PathTable exposes the underlying table for inspection (stats, entries).
@@ -282,6 +337,15 @@ func (m *Monitor) WriteMetrics(w io.Writer) error {
 	fmt.Fprintf(&b, "veridp_reports_verified_total %d\n", m.verified.Load())
 	fmt.Fprintf(&b, "# TYPE veridp_reports_violated_total counter\n")
 	fmt.Fprintf(&b, "veridp_reports_violated_total %d\n", m.violated.Load())
+	var hits, misses uint64
+	for _, c := range m.caches {
+		hits += c.Hits()
+		misses += c.Misses()
+	}
+	fmt.Fprintf(&b, "# TYPE veridp_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "veridp_cache_hits_total %d\n", hits)
+	fmt.Fprintf(&b, "# TYPE veridp_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "veridp_cache_misses_total %d\n", misses)
 	fmt.Fprintf(&b, "# TYPE veridp_violations_total counter\n")
 	reasons := make([]string, 0, len(m.reasons))
 	for r := range m.reasons {
